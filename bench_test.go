@@ -1,0 +1,492 @@
+// Benchmarks regenerating every paper artifact (one Benchmark per
+// experiment in DESIGN.md's index).  Run with
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics carry the experiment's headline numbers: log-bytes/op,
+// redone-ops/recovery, flush-set sizes, object writes.  cmd/llbench renders
+// the same experiments as full tables.
+package logicallog
+
+import (
+	"fmt"
+	"testing"
+
+	"logicallog/internal/apprec"
+	"logicallog/internal/btree"
+	"logicallog/internal/cache"
+	"logicallog/internal/core"
+	"logicallog/internal/fsim"
+	"logicallog/internal/harness"
+	"logicallog/internal/op"
+	"logicallog/internal/recovery"
+	"logicallog/internal/sim"
+	"logicallog/internal/workload"
+	"logicallog/internal/writegraph"
+)
+
+func mustEngine(b *testing.B, opts core.Options) *core.Engine {
+	b.Helper()
+	eng, err := core.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkE1LogBytes — Figure 1: log bytes for an A-form + B-form pair,
+// logical vs physiological, per object size.
+func BenchmarkE1LogBytes(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		for _, physio := range []bool{false, true} {
+			name := fmt.Sprintf("size=%s/physio=%v", fmtBytes(size), physio)
+			b.Run(name, func(b *testing.B) {
+				opts := core.DefaultOptions()
+				opts.Physiological = physio
+				eng := mustEngine(b, opts)
+				v := make([]byte, size)
+				if err := eng.Execute(op.NewCreate("X", v)); err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Execute(op.NewCreate("Y", v)); err != nil {
+					b.Fatal(err)
+				}
+				eng.ResetStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a := op.NewLogical(op.FuncXor, op.EncodeParams([]byte("Y"), []byte("X")),
+						[]op.ObjectID{"X", "Y"}, []op.ObjectID{"Y"})
+					bb := op.NewLogical(op.FuncCopy, []byte("X"),
+						[]op.ObjectID{"Y"}, []op.ObjectID{"X"})
+					if err := eng.Execute(a); err != nil {
+						b.Fatal(err)
+					}
+					if err := eng.Execute(bb); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := eng.Log().Stats()
+				b.ReportMetric(float64(st.TotalOpPayloadBytes())/float64(b.N), "logbytes/pair")
+			})
+		}
+	}
+}
+
+// BenchmarkE2Recover — Figure 2 / Theorem 2: a full crash + recover +
+// verify cycle per iteration.
+func BenchmarkE2Recover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := sim.CrashTest(core.DefaultOptions(), sim.DefaultScenario(int64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3FlushSets — Figures 3/7: write-graph maintenance cost and
+// resulting flush-set sizes for W vs rW.
+func BenchmarkE3FlushSets(b *testing.B) {
+	spec := workload.DefaultSpec(33)
+	spec.PhysioPct, spec.DeletePct = 0, 0
+	spec.LogicalAPct, spec.LogicalBPct = 40, 40
+	gen, err := workload.NewGenerator(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := workload.WithLSNs(gen.Stream())
+	for _, policy := range []writegraph.Policy{writegraph.PolicyW, writegraph.PolicyRW} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var maxSet int
+			for i := 0; i < b.N; i++ {
+				wg := writegraph.New(policy)
+				for _, o := range stream {
+					if _, err := wg.AddOp(o.Clone()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, s := range wg.FlushSetSizes() {
+					if s > maxSet {
+						maxSet = s
+					}
+				}
+			}
+			b.ReportMetric(float64(maxSet), "max-flush-set")
+		})
+	}
+}
+
+// BenchmarkE4Refinement — Figure 5 / Section 4 examples through both
+// graphs, per iteration.
+func BenchmarkE4Refinement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, policy := range []writegraph.Policy{writegraph.PolicyW, writegraph.PolicyRW} {
+			wg := writegraph.New(policy)
+			ops := []*op.Operation{
+				op.NewLogical(op.FuncXor, op.EncodeParams([]byte("Y"), []byte("X")),
+					[]op.ObjectID{"X", "Y"}, []op.ObjectID{"Y"}),
+				op.NewLogical(op.FuncCopy, []byte("X"), []op.ObjectID{"Y"}, []op.ObjectID{"X"}),
+				op.NewPhysioWrite("Y", op.FuncAppend, []byte{1}),
+			}
+			for j, o := range ops {
+				o.LSN = op.SI(j + 1)
+				if _, err := wg.AddOp(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE5IdentityVsFlushTxn — Section 4: installing a k-object atomic
+// flush set under each mechanism.
+func BenchmarkE5IdentityVsFlushTxn(b *testing.B) {
+	for _, k := range []int{2, 8} {
+		for _, strat := range []cache.FlushStrategy{cache.StrategyIdentityWrite, cache.StrategyFlushTxn, cache.StrategyShadow} {
+			b.Run(fmt.Sprintf("k=%d/%s", k, strat), func(b *testing.B) {
+				var objWrites int64
+				for i := 0; i < b.N; i++ {
+					opts := core.DefaultOptions()
+					opts.Strategy = strat
+					eng := mustEngine(b, opts)
+					if err := buildRing(eng, k, 4096); err != nil {
+						b.Fatal(err)
+					}
+					eng.ResetStats()
+					if err := eng.FlushAll(); err != nil {
+						b.Fatal(err)
+					}
+					objWrites += eng.Store().Stats().ObjectWrites
+				}
+				b.ReportMetric(float64(objWrites)/float64(b.N), "objwrites/install")
+			})
+		}
+	}
+}
+
+func buildRing(eng *core.Engine, k, valSize int) error {
+	ids := make([]op.ObjectID, k)
+	v := make([]byte, valSize)
+	for i := range ids {
+		ids[i] = op.ObjectID(fmt.Sprintf("s%02d", i))
+		if err := eng.Execute(op.NewCreate(ids[i], v)); err != nil {
+			return err
+		}
+	}
+	if err := eng.FlushAll(); err != nil {
+		return err
+	}
+	for round := 0; round < 2; round++ {
+		for i := 0; i < k; i++ {
+			x, y := ids[i], ids[(i+1)%k]
+			o := op.NewLogical(op.FuncXor, op.EncodeParams([]byte(y), []byte(x)),
+				[]op.ObjectID{x, y}, []op.ObjectID{y})
+			if err := eng.Execute(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BenchmarkE6RedoTests — Section 5: recovery under the vSI vs generalized
+// rSI REDO tests; the metric is operations re-executed per recovery.
+func BenchmarkE6RedoTests(b *testing.B) {
+	for _, test := range []recovery.RedoTest{recovery.TestVSI, recovery.TestRSI} {
+		b.Run(test.String(), func(b *testing.B) {
+			var redone int64
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				opts.RedoTest = test
+				eng := mustEngine(b, opts)
+				spec := workload.DefaultSpec(77)
+				spec.LogicalAPct, spec.LogicalBPct, spec.PhysioPct, spec.DeletePct = 25, 25, 10, 30
+				gen, err := workload.NewGenerator(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, o := range gen.Stream() {
+					if err := eng.Execute(o); err != nil {
+						b.Fatal(err)
+					}
+					if j%9 == 0 {
+						if err := eng.InstallOne(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				eng.Log().Force()
+				eng.Crash()
+				res, err := eng.Recover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				redone += int64(res.Redone)
+			}
+			b.ReportMetric(float64(redone)/float64(b.N), "redone/recovery")
+		})
+	}
+}
+
+// BenchmarkE7AppRecovery — Table 1 / application recovery: one
+// read+exec+write round, logical W_L vs physical W_P vs physiological.
+func BenchmarkE7AppRecovery(b *testing.B) {
+	const bufSize = 64 << 10
+	variants := []struct {
+		name   string
+		physio bool
+		physW  bool
+	}{
+		{"W_L-logical", false, false},
+		{"W_P-physical", false, true},
+		{"physiological", true, false},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Physiological = v.physio
+			eng := mustEngine(b, opts)
+			apprec.Register(eng.Registry())
+			if err := eng.Execute(op.NewCreate("input", make([]byte, bufSize))); err != nil {
+				b.Fatal(err)
+			}
+			app, err := apprec.Launch(eng, "app")
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := app.Read("input"); err != nil {
+					b.Fatal(err)
+				}
+				if err := app.Step([]byte{byte(i)}); err != nil {
+					b.Fatal(err)
+				}
+				target := op.ObjectID(fmt.Sprintf("out%d", i))
+				if v.physW {
+					err = app.WritePhysical(target)
+				} else {
+					err = app.Write(target)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(eng.Log().Stats().TotalOpPayloadBytes())/float64(b.N), "logbytes/round")
+		})
+	}
+}
+
+// BenchmarkE8FileOps — file-system domain: logical vs physiological copy of
+// a 256 KiB file.
+func BenchmarkE8FileOps(b *testing.B) {
+	const size = 256 << 10
+	for _, physical := range []bool{false, true} {
+		name := "logical"
+		if physical {
+			name = "physiological"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := mustEngine(b, core.DefaultOptions())
+			fsim.Register(eng.Registry())
+			fs := fsim.New(eng, "fs")
+			if err := fs.Create("src", make([]byte, size)); err != nil {
+				b.Fatal(err)
+			}
+			eng.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst := fmt.Sprintf("copy%d", i)
+				var err error
+				if physical {
+					err = fs.CopyPhysical(dst, "src")
+				} else {
+					err = fs.Copy(dst, "src")
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(eng.Log().Stats().TotalOpPayloadBytes())/float64(b.N), "logbytes/copy")
+		})
+	}
+}
+
+// BenchmarkE9BtreeSplit — database domain: bulk inserts with logical vs
+// physiological splits.
+func BenchmarkE9BtreeSplit(b *testing.B) {
+	for _, physio := range []bool{false, true} {
+		name := "logical-split"
+		if physio {
+			name = "physiological-split"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Physiological = physio
+			var logBytes int64
+			inserts := 0
+			for i := 0; i < b.N; i++ {
+				eng := mustEngine(b, opts)
+				btree.Register(eng.Registry())
+				tree, err := btree.New(eng, "t", 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.ResetStats()
+				val := make([]byte, 1024)
+				for j := 0; j < 128; j++ {
+					if err := tree.Insert([]byte(fmt.Sprintf("key%06d", j)), val); err != nil {
+						b.Fatal(err)
+					}
+					inserts++
+				}
+				logBytes += eng.Log().Stats().TotalOpPayloadBytes()
+			}
+			b.ReportMetric(float64(logBytes)/float64(inserts), "logbytes/insert")
+		})
+	}
+}
+
+// BenchmarkE10ScanLength — Section 5: recovery after a checkpointed
+// workload; the metric is redo-scan length.
+func BenchmarkE10ScanLength(b *testing.B) {
+	for _, interval := range []int{0, 25} {
+		name := "nocheckpoint"
+		if interval > 0 {
+			name = fmt.Sprintf("checkpoint-every-%d", interval)
+		}
+		b.Run(name, func(b *testing.B) {
+			var scanned int64
+			for i := 0; i < b.N; i++ {
+				eng := mustEngine(b, core.DefaultOptions())
+				gen, err := workload.NewGenerator(workload.DefaultSpec(55))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, o := range gen.Stream() {
+					if err := eng.Execute(o); err != nil {
+						b.Fatal(err)
+					}
+					if j%7 == 0 {
+						if err := eng.InstallOne(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if interval > 0 && j%interval == interval-1 {
+						if err := eng.Checkpoint(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				eng.Log().Force()
+				eng.Crash()
+				res, err := eng.Recover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanned += int64(res.ScannedOps)
+			}
+			b.ReportMetric(float64(scanned)/float64(b.N), "scanned/recovery")
+		})
+	}
+}
+
+// BenchmarkAblationInstallLogging — A1: redo work with and without install
+// records.
+func BenchmarkAblationInstallLogging(b *testing.B) {
+	for _, logInstalls := range []bool{true, false} {
+		b.Run(fmt.Sprintf("installrecords=%v", logInstalls), func(b *testing.B) {
+			var redone int64
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				opts.LogInstalls = logInstalls
+				eng := mustEngine(b, opts)
+				gen, err := workload.NewGenerator(workload.DefaultSpec(99))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, o := range gen.Stream() {
+					if err := eng.Execute(o); err != nil {
+						b.Fatal(err)
+					}
+					if j%9 == 0 {
+						if err := eng.InstallOne(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				eng.Log().Force()
+				eng.Crash()
+				res, err := eng.Recover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				redone += int64(res.Redone)
+			}
+			b.ReportMetric(float64(redone)/float64(b.N), "redone/recovery")
+		})
+	}
+}
+
+// BenchmarkAblationPolicy — A2: end-to-end engine throughput under W vs rW.
+func BenchmarkAblationPolicy(b *testing.B) {
+	for _, policy := range []writegraph.Policy{writegraph.PolicyW, writegraph.PolicyRW} {
+		b.Run(policy.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				opts.Policy = policy
+				if policy == writegraph.PolicyW {
+					opts.Strategy = cache.StrategyShadow
+				}
+				eng := mustEngine(b, opts)
+				gen, err := workload.NewGenerator(workload.DefaultSpec(111))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, o := range gen.Stream() {
+					if err := eng.Execute(o); err != nil {
+						b.Fatal(err)
+					}
+					if j%9 == 0 {
+						if err := eng.InstallOne(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := eng.FlushAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTables regenerates every experiment table once per iteration —
+// the exact artifact set EXPERIMENTS.md records.
+func BenchmarkTables(b *testing.B) {
+	for _, exp := range harness.All() {
+		if exp.ID == "E2" {
+			continue // E2 runs 200 crash tests; benchmarked via BenchmarkE2Recover
+		}
+		exp := exp
+		b.Run(exp.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,55 @@
+// Command llbench runs the paper-reproduction experiments (E1–E10 and the
+// ablations; see DESIGN.md) and prints their tables.
+//
+// Usage:
+//
+//	llbench              # run everything
+//	llbench -exp e1,e5   # run a subset
+//	llbench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"logicallog/internal/harness"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var selected []harness.Experiment
+	if *exps == "" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			e, ok := harness.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "llbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("== %s: %s\n", e.ID, e.Name)
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		tbl.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,99 @@
+// Command llinspect dumps a file-backed write-ahead log produced by
+// logicallog (Options.LogPath) in human-readable form: one line per record,
+// with operation read/write sets, install/flush bookkeeping, and checkpoint
+// contents.
+//
+// Usage:
+//
+//	llinspect [-from LSN] path/to/db.wal
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"logicallog/internal/op"
+	"logicallog/internal/wal"
+)
+
+func main() {
+	from := flag.Uint64("from", 0, "first LSN to print")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llinspect [-from LSN] <wal file>")
+		os.Exit(2)
+	}
+	dev, err := wal.OpenFileDevice(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
+		os.Exit(1)
+	}
+	defer dev.Close()
+	log, err := wal.New(dev)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
+		os.Exit(1)
+	}
+	sc, err := log.Scan(op.SI(*from))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
+		os.Exit(1)
+	}
+	count := 0
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
+			os.Exit(1)
+		}
+		printRecord(rec)
+		count++
+	}
+	fmt.Printf("-- %d records (stable LSN %d, first LSN %d)\n", count, log.StableLSN(), log.FirstLSN())
+}
+
+func printRecord(rec *wal.Record) {
+	switch rec.Type {
+	case wal.RecOperation:
+		o := rec.Op
+		extra := ""
+		if len(o.Values) > 0 {
+			var sizes []string
+			for _, x := range o.WriteSet {
+				if v, ok := o.Values[x]; ok {
+					sizes = append(sizes, fmt.Sprintf("%s=%dB", x, len(v)))
+				}
+			}
+			extra = " values{" + strings.Join(sizes, " ") + "}"
+		}
+		fmt.Printf("%8d  op     %s%s\n", rec.LSN, o, extra)
+	case wal.RecInstall:
+		fmt.Printf("%8d  install flushed=%s unflushed=%s ops=%v\n",
+			rec.LSN, rsis(rec.Install.Flushed), rsis(rec.Install.Unflushed), rec.Install.Ops)
+	case wal.RecFlush:
+		fmt.Printf("%8d  flush  %s vSI=%d\n", rec.LSN, rec.Flush.Object, rec.Flush.VSI)
+	case wal.RecCheckpoint:
+		var parts []string
+		for _, d := range rec.Checkpoint.Dirty {
+			parts = append(parts, fmt.Sprintf("%s@%d", d.ID, d.RSI))
+		}
+		fmt.Printf("%8d  ckpt   dirty{%s}\n", rec.LSN, strings.Join(parts, " "))
+	default:
+		fmt.Printf("%8d  ?      type=%v\n", rec.LSN, rec.Type)
+	}
+}
+
+func rsis(s []wal.ObjectRSI) string {
+	var parts []string
+	for _, r := range s {
+		parts = append(parts, fmt.Sprintf("%s@%d", r.ID, r.RSI))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,82 @@
+// B-tree example: the paper's Section 1 database scenario — a recoverable
+// B-tree whose page splits are single logical operations (pages named, never
+// logged), bulk-loaded, crashed mid-load, recovered, and verified.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logicallog"
+	"logicallog/internal/btree"
+)
+
+func main() {
+	db, err := logicallog.Open(logicallog.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	eng := db.Engine()
+	btree.Register(eng.Registry())
+
+	tree, err := btree.New(eng, "accounts", 16)
+	must(err)
+
+	// Bulk-load 1000 records with 512-byte payloads, flushing and
+	// checkpointing along the way as a real system would.
+	val := make([]byte, 512)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		must(tree.Insert(key(i), val))
+		if i%100 == 99 {
+			must(db.FlushOne())
+		}
+		if i%250 == 249 {
+			must(db.Checkpoint())
+		}
+	}
+	st, err := tree.Stats()
+	must(err)
+	dbStats := db.Stats()
+	fmt.Printf("loaded %d keys: height %d, %d pages (%d leaves)\n",
+		st.Keys, st.Height, st.Pages, st.LeafPages)
+	fmt.Printf("log: %d bytes appended; %d bytes were data values\n",
+		dbStats.LogBytesAppended, dbStats.LogValueBytes)
+	fmt.Printf("(every page split was one logical record of ~100 bytes — %d pages of contents were moved without logging them)\n",
+		st.Pages-1)
+
+	// Crash mid-flight and recover.
+	must(db.Sync())
+	db.Crash()
+	rep, err := db.Recover()
+	must(err)
+	fmt.Printf("recovered: scanned %d ops, redone %d, skipped %d\n",
+		rep.OpsScanned, rep.Redone, rep.SkippedInstalled+rep.SkippedUnexposed)
+
+	tree2, err := btree.Open(eng, "accounts")
+	must(err)
+	must(tree2.Check())
+	for i := 0; i < n; i++ {
+		_, found, err := tree2.Get(key(i))
+		must(err)
+		if !found {
+			log.Fatalf("key %d lost in recovery", i)
+		}
+	}
+	fmt.Println("tree verified: structure valid, all keys present")
+
+	// Point operations keep working after recovery.
+	must(tree2.Insert([]byte("zzz-last"), []byte("after recovery")))
+	v, found, err := tree2.Get([]byte("zzz-last"))
+	must(err)
+	fmt.Printf("post-recovery insert: found=%v value=%q\n", found, v)
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("acct-%06d", i)) }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

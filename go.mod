@@ -1,0 +1,3 @@
+module logicallog
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package backup implements fuzzy backups and media recovery, the extension
+// the paper defers to its reference [10] ("Media Recovery When Using Logical
+// Log Operations").
+//
+// A fuzzy backup copies the stable database object by object while normal
+// execution — including installs that reorder object states — continues.
+// The copy is therefore not action-consistent: different objects reflect
+// different moments.  Media recovery makes it consistent the same way crash
+// recovery makes the stable database consistent: restore the backup as the
+// stable state and replay the log from the backup's start horizon with the
+// standard REDO machinery.  The vSI stored with each backed-up object makes
+// the replay skip exactly the operations each object already reflects.
+//
+// The one constraint a fuzzy backup adds (as [10] discusses) is on log
+// truncation: the log must retain every record from the backup's start
+// horizon onward until the backup is superseded, because the backup's older
+// object states need older log records than the live stable database does.
+// BackupSet.MinRetainLSN reports that horizon.
+package backup
+
+import (
+	"fmt"
+
+	"logicallog/internal/cache"
+	"logicallog/internal/core"
+	"logicallog/internal/op"
+	"logicallog/internal/recovery"
+	"logicallog/internal/stable"
+	"logicallog/internal/wal"
+)
+
+// Backup is one fuzzy backup of a stable store.
+type Backup struct {
+	// StartLSN is the durable log horizon when the copy began; media
+	// recovery replays from here.
+	StartLSN op.SI
+	// EndLSN is the horizon when the copy finished (diagnostics).
+	EndLSN op.SI
+	// Objects is the fuzzy object copy (values with their vSIs).
+	Objects map[op.ObjectID]stable.Versioned
+}
+
+// Take copies the engine's stable store object by object.  interleave, when
+// non-nil, is invoked between object copies so tests and simulations can run
+// normal execution (updates, installs, checkpoints) mid-backup — that is
+// what makes the backup fuzzy.
+func Take(eng *core.Engine, interleave func(copied int) error) (*Backup, error) {
+	b := &Backup{
+		StartLSN: eng.Log().StableLSN() + 1,
+		Objects:  make(map[op.ObjectID]stable.Versioned),
+	}
+	for i, id := range eng.Store().IDs() {
+		v, err := eng.Store().Read(id)
+		if err != nil {
+			// The object vanished mid-backup (installed delete): skip it;
+			// replay of the delete is a no-op for a missing object.
+			continue
+		}
+		b.Objects[id] = v
+		if interleave != nil {
+			if err := interleave(i + 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.EndLSN = eng.Log().StableLSN()
+	return b, nil
+}
+
+// MinRetainLSN returns the earliest log record media recovery from this
+// backup could need; the log must not be truncated past it while the backup
+// is the restore point.
+func (b *Backup) MinRetainLSN() op.SI { return b.StartLSN }
+
+// MediaRecover rebuilds a database from the backup plus the surviving log:
+// it restores the backup image into the engine's stable store and runs the
+// standard recovery machinery (analysis from the backup horizon, then redo).
+// The live stable store is assumed lost (that is the media failure).
+func MediaRecover(eng *core.Engine, b *Backup, opts recovery.Options) (*recovery.Result, error) {
+	if eng.Log().FirstLSN() > b.StartLSN {
+		return nil, fmt.Errorf("backup: log truncated to %d, backup needs %d",
+			eng.Log().FirstLSN(), b.StartLSN)
+	}
+	eng.Store().Restore(b.Objects)
+	// The dirty-object-table bookkeeping (checkpoints, install records)
+	// describes the *lost* stable state, not the backup image; analysis
+	// must therefore distrust it and scan from the backup horizon.  We do
+	// that by running the redo pass over [StartLSN, end) with the vSI
+	// test: each backed-up object's vSI makes replay exact per object.
+	mgr, err := cache.NewManager(opts.Cache, eng.Log(), eng.Store())
+	if err != nil {
+		return nil, err
+	}
+	res := &recovery.Result{Manager: mgr, RedoStart: b.StartLSN}
+	sc, err := eng.Log().Scan(b.StartLSN)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := scanNext(sc)
+		if rec == nil || err != nil {
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+		if rec.Type != wal.RecOperation {
+			continue
+		}
+		res.ScannedOps++
+		o := rec.Op
+		installed := false
+		for _, x := range o.WriteSet {
+			if mgr.CurrentVSI(x) >= o.LSN {
+				installed = true
+				break
+			}
+		}
+		if installed {
+			res.SkippedInstalled++
+			continue
+		}
+		voided, err := mgr.TryApplyLogged(o.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("backup: media redo of %s: %w", o, err)
+		}
+		if voided {
+			res.Voided++
+		} else {
+			res.Redone++
+		}
+	}
+	return res, nil
+}
+
+func scanNext(sc *wal.Scanner) (*wal.Record, error) {
+	rec, err := sc.Next()
+	if err != nil {
+		// io.EOF terminates the scan cleanly.
+		return nil, nil
+	}
+	return rec, err
+}

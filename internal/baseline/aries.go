@@ -1,0 +1,339 @@
+// Package baseline implements a compact, self-contained ARIES-style
+// physiological redo manager [11] — the state of the art the paper argues
+// against for large-object domains.  It exists so experiments can compare
+// the logical-logging engine against an *independent* implementation of the
+// traditional design, not merely against a configuration switch.
+//
+// The manager is redo-only (matching the paper's redo-recovery scope):
+//
+//   - every update is physiological — a single page, transformed by a
+//     logged function whose parameters (often the whole new value) ride on
+//     the log;
+//   - each page carries a pageLSN; the dirty page table carries recLSNs;
+//   - checkpoints log the dirty page table; recovery = analysis (rebuild
+//     DPT from the checkpoint forward) + redo (replay where
+//     pageLSN < LSN), exactly the classic recipe.
+//
+// Because operations are physiological, the write graph degenerates: any
+// page can be flushed at any time in any order (~ATOMIC, STEAL), which is
+// precisely the flexibility the paper's rW machinery buys back for logical
+// operations.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"logicallog/internal/op"
+	"logicallog/internal/stable"
+	"logicallog/internal/wal"
+)
+
+// PageID names a page.
+type PageID = op.ObjectID
+
+// Manager is the ARIES-lite engine.
+type Manager struct {
+	reg   *op.Registry
+	log   *wal.Log
+	store *stable.Store
+
+	// cache is the buffer pool: page -> (value, pageLSN, dirty, recLSN).
+	cache map[PageID]*pageEntry
+}
+
+type pageEntry struct {
+	val     []byte
+	exists  bool
+	pageLSN op.SI
+	dirty   bool
+	recLSN  op.SI
+}
+
+// New builds an ARIES-lite manager with a fresh in-memory log and store.
+func New() (*Manager, error) {
+	log, err := wal.New(wal.NewMemDevice())
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		reg:   op.NewRegistry(),
+		log:   log,
+		store: stable.NewStore(),
+		cache: make(map[PageID]*pageEntry),
+	}, nil
+}
+
+// Registry returns the function registry.
+func (m *Manager) Registry() *op.Registry { return m.reg }
+
+// Log returns the write-ahead log (for statistics).
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// Store returns the stable store (for statistics).
+func (m *Manager) Store() *stable.Store { return m.store }
+
+// Set writes a page value (a full physical write: the value is logged).
+func (m *Manager) Set(p PageID, v []byte) error {
+	return m.apply(op.NewPhysicalWrite(p, v))
+}
+
+// Update applies a physiological transformation to a page: the function id
+// and params are logged, the page is read and rewritten.
+func (m *Manager) Update(p PageID, fn op.FuncID, params []byte) error {
+	return m.apply(op.NewPhysioWrite(p, fn, params))
+}
+
+// Delete removes a page.
+func (m *Manager) Delete(p PageID) error {
+	return m.apply(op.NewDelete(p))
+}
+
+// Get returns a page's current value.
+func (m *Manager) Get(p PageID) ([]byte, error) {
+	e, err := m.fault(p)
+	if err != nil {
+		return nil, err
+	}
+	if !e.exists {
+		return nil, fmt.Errorf("baseline: page %q deleted", p)
+	}
+	return append([]byte(nil), e.val...), nil
+}
+
+func (m *Manager) fault(p PageID) (*pageEntry, error) {
+	if e, ok := m.cache[p]; ok {
+		return e, nil
+	}
+	v, err := m.store.Read(p)
+	if errors.Is(err, stable.ErrNotFound) {
+		return nil, fmt.Errorf("baseline: page %q not found", p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &pageEntry{val: v.Val, exists: true, pageLSN: v.VSI}
+	m.cache[p] = e
+	return e, nil
+}
+
+func (m *Manager) apply(o *op.Operation) error {
+	var reads map[op.ObjectID][]byte
+	if len(o.ReadSet) == 1 {
+		e, err := m.fault(o.ReadSet[0])
+		if err != nil {
+			return err
+		}
+		if !e.exists {
+			return fmt.Errorf("baseline: update of deleted page %q", o.ReadSet[0])
+		}
+		reads = map[op.ObjectID][]byte{o.ReadSet[0]: e.val}
+	}
+	writes, err := m.reg.Apply(o, reads)
+	if err != nil {
+		return err
+	}
+	lsn, err := m.log.AppendOp(o)
+	if err != nil {
+		return err
+	}
+	return m.applyWrites(o, writes, lsn)
+}
+
+func (m *Manager) applyWrites(o *op.Operation, writes map[op.ObjectID][]byte, lsn op.SI) error {
+	for _, p := range o.WriteSet {
+		e, ok := m.cache[p]
+		if !ok {
+			if v, err := m.store.Read(p); err == nil {
+				e = &pageEntry{val: v.Val, exists: true, pageLSN: v.VSI}
+			} else {
+				e = &pageEntry{}
+			}
+			m.cache[p] = e
+		}
+		if o.Kind == op.KindDelete {
+			e.exists = false
+			e.val = nil
+		} else {
+			e.exists = true
+			e.val = writes[p]
+		}
+		if !e.dirty {
+			e.dirty = true
+			e.recLSN = lsn
+		}
+		e.pageLSN = lsn
+	}
+	return nil
+}
+
+// FlushPage forces the log through the page's LSN (WAL) and writes the page
+// in place — physiological pages have no inter-object flush constraints, so
+// any page flushes at any time.
+func (m *Manager) FlushPage(p PageID) error {
+	e, ok := m.cache[p]
+	if !ok || !e.dirty {
+		return nil
+	}
+	if err := m.log.ForceThrough(e.pageLSN); err != nil {
+		return err
+	}
+	if err := m.store.WriteBatch([]stable.Entry{{
+		ID: p, Val: e.val, VSI: e.pageLSN, Delete: !e.exists,
+	}}, stable.ModeSingle); err != nil {
+		return err
+	}
+	e.dirty = false
+	e.recLSN = 0
+	// Lazily log the flush so analysis can prune the DPT.
+	if _, err := m.log.Append(wal.NewFlushRecord(p, e.pageLSN)); err != nil {
+		return err
+	}
+	if !e.exists {
+		delete(m.cache, p)
+	}
+	return nil
+}
+
+// FlushAll flushes every dirty page.
+func (m *Manager) FlushAll() error {
+	for p, e := range m.cache {
+		if e.dirty {
+			if err := m.FlushPage(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint logs the dirty page table and forces the log.
+func (m *Manager) Checkpoint() error {
+	var dirty []wal.DirtyEntry
+	for p, e := range m.cache {
+		if e.dirty {
+			dirty = append(dirty, wal.DirtyEntry{ID: p, RSI: e.recLSN})
+		}
+	}
+	if _, err := m.log.Append(wal.NewCheckpointRecord(dirty)); err != nil {
+		return err
+	}
+	return m.log.Force()
+}
+
+// Crash drops the buffer pool and the unforced log tail.
+func (m *Manager) Crash() {
+	m.log.Crash()
+	m.cache = make(map[PageID]*pageEntry)
+}
+
+// RecoveryStats reports what Recover did.
+type RecoveryStats struct {
+	RedoStart op.SI
+	Scanned   int
+	Redone    int
+	Skipped   int
+}
+
+// Recover runs ARIES analysis + redo.
+func (m *Manager) Recover() (RecoveryStats, error) {
+	var st RecoveryStats
+	// Analysis: rebuild the DPT from the last checkpoint forward.
+	dpt := map[PageID]op.SI{}
+	scanFrom := m.log.FirstLSN()
+	cp, err := m.log.LastCheckpoint()
+	if err != nil {
+		return st, err
+	}
+	if cp != nil {
+		scanFrom = cp.LSN
+		for _, d := range cp.Checkpoint.Dirty {
+			dpt[d.ID] = d.RSI
+		}
+	}
+	sc, err := m.log.Scan(scanFrom)
+	if err != nil {
+		return st, err
+	}
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+		switch rec.Type {
+		case wal.RecOperation:
+			for _, p := range rec.Op.WriteSet {
+				if _, ok := dpt[p]; !ok {
+					dpt[p] = rec.LSN
+				}
+			}
+		case wal.RecFlush:
+			delete(dpt, rec.Flush.Object)
+		case wal.RecCheckpoint:
+			dpt = map[PageID]op.SI{}
+			for _, d := range rec.Checkpoint.Dirty {
+				dpt[d.ID] = d.RSI
+			}
+		}
+	}
+	// Redo from the minimum recLSN.
+	st.RedoStart = m.log.NextLSN()
+	for _, rec := range dpt {
+		if rec < st.RedoStart {
+			st.RedoStart = rec
+		}
+	}
+	sc, err = m.log.Scan(st.RedoStart)
+	if err != nil {
+		return st, err
+	}
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		if rec.Type != wal.RecOperation {
+			continue
+		}
+		o := rec.Op
+		st.Scanned++
+		p := o.WriteSet[0] // physiological: exactly one page
+		if m.currentPageLSN(p) >= o.LSN {
+			st.Skipped++
+			continue
+		}
+		var reads map[op.ObjectID][]byte
+		if len(o.ReadSet) == 1 {
+			e, err := m.fault(o.ReadSet[0])
+			if err != nil {
+				return st, fmt.Errorf("baseline: redo %s: %w", o, err)
+			}
+			reads = map[op.ObjectID][]byte{o.ReadSet[0]: e.val}
+		}
+		writes, err := m.reg.Apply(o, reads)
+		if err != nil {
+			return st, fmt.Errorf("baseline: redo %s: %w", o, err)
+		}
+		if err := m.applyWrites(o, writes, o.LSN); err != nil {
+			return st, err
+		}
+		st.Redone++
+	}
+}
+
+func (m *Manager) currentPageLSN(p PageID) op.SI {
+	if e, ok := m.cache[p]; ok {
+		return e.pageLSN
+	}
+	if v, err := m.store.Read(p); err == nil {
+		return v.VSI
+	}
+	return op.NilSI
+}

@@ -1,0 +1,531 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"logicallog/internal/core"
+	"logicallog/internal/op"
+)
+
+// Function ids registered by Register.
+const (
+	// FuncInsertLeaf is the physiological leaf insert: page <- page+{k,v}.
+	FuncInsertLeaf op.FuncID = "btree.insertleaf"
+	// FuncDeleteLeaf is the physiological leaf delete.
+	FuncDeleteLeaf op.FuncID = "btree.deleteleaf"
+	// FuncSplitChild is the logical split: reads {parent, child}, writes
+	// {parent, child, newChild}.  Only page ids are logged.
+	FuncSplitChild op.FuncID = "btree.splitchild"
+	// FuncSplitRoot is the logical root split: reads {meta, root}, writes
+	// {meta, root, newChild, newRoot}.
+	FuncSplitRoot op.FuncID = "btree.splitroot"
+)
+
+// Register installs the B-tree transformations on a registry.
+func Register(reg *op.Registry) {
+	reg.Register(FuncInsertLeaf, fnInsertLeaf)
+	reg.Register(FuncDeleteLeaf, fnDeleteLeaf)
+	reg.Register(FuncSplitChild, fnSplitChild)
+	reg.Register(FuncSplitRoot, fnSplitRoot)
+}
+
+// meta is the tree's metadata object.
+type meta struct {
+	root   op.ObjectID
+	next   uint64 // next page number to allocate
+	height uint64
+	order  uint64 // max keys per page before split
+}
+
+func encodeMeta(m *meta) []byte {
+	var next, height, order [8]byte
+	binary.BigEndian.PutUint64(next[:], m.next)
+	binary.BigEndian.PutUint64(height[:], m.height)
+	binary.BigEndian.PutUint64(order[:], m.order)
+	return op.EncodeParams([]byte(m.root), next[:], height[:], order[:])
+}
+
+func decodeMeta(v []byte) (*meta, error) {
+	fields, err := op.DecodeParams(v)
+	if err != nil || len(fields) != 4 || len(fields[1]) != 8 || len(fields[2]) != 8 || len(fields[3]) != 8 {
+		return nil, fmt.Errorf("btree: corrupt meta: %v", err)
+	}
+	return &meta{
+		root:   op.ObjectID(fields[0]),
+		next:   binary.BigEndian.Uint64(fields[1]),
+		height: binary.BigEndian.Uint64(fields[2]),
+		order:  binary.BigEndian.Uint64(fields[3]),
+	}, nil
+}
+
+// --- registered transformations --------------------------------------------
+
+// fnInsertLeaf params: EncodeParams(key, val).
+func fnInsertLeaf(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
+	fields, err := op.DecodeParams(params)
+	if err != nil || len(fields) != 2 {
+		return nil, fmt.Errorf("btree: insertleaf wants (key, val)")
+	}
+	id, raw, err := soleRead(reads)
+	if err != nil {
+		return nil, err
+	}
+	p, err := decodePage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if p.kind != leafPage {
+		return nil, fmt.Errorf("btree: insertleaf on non-leaf %q", id)
+	}
+	p.insertLeaf(fields[0], fields[1])
+	return map[op.ObjectID][]byte{id: encodePage(p)}, nil
+}
+
+// fnDeleteLeaf params: EncodeParams(key).
+func fnDeleteLeaf(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
+	fields, err := op.DecodeParams(params)
+	if err != nil || len(fields) != 1 {
+		return nil, fmt.Errorf("btree: deleteleaf wants (key)")
+	}
+	id, raw, err := soleRead(reads)
+	if err != nil {
+		return nil, err
+	}
+	p, err := decodePage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if p.kind != leafPage {
+		return nil, fmt.Errorf("btree: deleteleaf on non-leaf %q", id)
+	}
+	p.deleteLeaf(fields[0])
+	return map[op.ObjectID][]byte{id: encodePage(p)}, nil
+}
+
+// fnSplitChild params: EncodeParams(parentID, childID, newChildID).
+// Reads parent and child; writes parent, child, newChild.  The new child's
+// contents come entirely from the old child — nothing but ids on the log.
+func fnSplitChild(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
+	fields, err := op.DecodeParams(params)
+	if err != nil || len(fields) != 3 {
+		return nil, fmt.Errorf("btree: splitchild wants (parent, child, newChild)")
+	}
+	parentID, childID, newID := op.ObjectID(fields[0]), op.ObjectID(fields[1]), op.ObjectID(fields[2])
+	parentRaw, ok := reads[parentID]
+	if !ok {
+		return nil, fmt.Errorf("btree: splitchild missing parent %q", parentID)
+	}
+	childRaw, ok := reads[childID]
+	if !ok {
+		return nil, fmt.Errorf("btree: splitchild missing child %q", childID)
+	}
+	parent, err := decodePage(parentRaw)
+	if err != nil {
+		return nil, err
+	}
+	child, err := decodePage(childRaw)
+	if err != nil {
+		return nil, err
+	}
+	if parent.kind != internalPage {
+		return nil, fmt.Errorf("btree: splitchild parent %q is not internal", parentID)
+	}
+	right, sep := child.splitRight()
+	if err := parent.insertChild(sep, childID, newID); err != nil {
+		return nil, err
+	}
+	return map[op.ObjectID][]byte{
+		parentID: encodePage(parent),
+		childID:  encodePage(child),
+		newID:    encodePage(right),
+	}, nil
+}
+
+// fnSplitRoot params: EncodeParams(metaID, rootID, newChildID, newRootID).
+// Reads meta and the old root; writes meta, old root, new child, new root.
+func fnSplitRoot(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
+	fields, err := op.DecodeParams(params)
+	if err != nil || len(fields) != 4 {
+		return nil, fmt.Errorf("btree: splitroot wants (meta, root, newChild, newRoot)")
+	}
+	metaID, rootID := op.ObjectID(fields[0]), op.ObjectID(fields[1])
+	newChildID, newRootID := op.ObjectID(fields[2]), op.ObjectID(fields[3])
+	metaRaw, ok := reads[metaID]
+	if !ok {
+		return nil, fmt.Errorf("btree: splitroot missing meta")
+	}
+	rootRaw, ok := reads[rootID]
+	if !ok {
+		return nil, fmt.Errorf("btree: splitroot missing root")
+	}
+	m, err := decodeMeta(metaRaw)
+	if err != nil {
+		return nil, err
+	}
+	root, err := decodePage(rootRaw)
+	if err != nil {
+		return nil, err
+	}
+	right, sep := root.splitRight()
+	newRoot := &page{
+		kind:     internalPage,
+		keys:     [][]byte{sep},
+		children: []op.ObjectID{rootID, newChildID},
+	}
+	m.root = newRootID
+	m.height++
+	return map[op.ObjectID][]byte{
+		metaID:     encodeMeta(m),
+		rootID:     encodePage(root),
+		newChildID: encodePage(right),
+		newRootID:  encodePage(newRoot),
+	}, nil
+}
+
+func soleRead(reads map[op.ObjectID][]byte) (op.ObjectID, []byte, error) {
+	if len(reads) != 1 {
+		return "", nil, fmt.Errorf("btree: expected 1 read, got %d", len(reads))
+	}
+	for id, v := range reads {
+		return id, v, nil
+	}
+	panic("unreachable")
+}
+
+// --- tree driver ------------------------------------------------------------
+
+// Tree is a recoverable B-tree over an engine.
+type Tree struct {
+	eng  *core.Engine
+	name string
+}
+
+// New creates a tree with the given name and order (max keys per page; must
+// be >= 2).  Page allocation is recorded in the tree's meta object, so page
+// ids replay deterministically.
+func New(eng *core.Engine, name string, order int) (*Tree, error) {
+	if order < 2 {
+		return nil, fmt.Errorf("btree: order %d < 2", order)
+	}
+	t := &Tree{eng: eng, name: name}
+	rootID := t.pageID(0)
+	m := &meta{root: rootID, next: 1, height: 1, order: uint64(order)}
+	if err := eng.Execute(op.NewCreate(t.metaID(), encodeMeta(m))); err != nil {
+		return nil, err
+	}
+	if err := eng.Execute(op.NewCreate(rootID, encodePage(&page{kind: leafPage}))); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open attaches to an existing tree (e.g. after recovery).
+func Open(eng *core.Engine, name string) (*Tree, error) {
+	t := &Tree{eng: eng, name: name}
+	if _, err := t.meta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tree) metaID() op.ObjectID { return op.ObjectID("bt/" + t.name + "/meta") }
+func (t *Tree) pageID(n uint64) op.ObjectID {
+	return op.ObjectID(fmt.Sprintf("bt/%s/p%08d", t.name, n))
+}
+
+func (t *Tree) meta() (*meta, error) {
+	raw, err := t.eng.Get(t.metaID())
+	if err != nil {
+		return nil, fmt.Errorf("btree: tree %q: %w", t.name, err)
+	}
+	return decodeMeta(raw)
+}
+
+func (t *Tree) readPage(id op.ObjectID) (*page, error) {
+	raw, err := t.eng.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodePage(raw)
+}
+
+// allocPage reserves the next page number via a physiological meta update.
+// The allocation itself is logged as a physical write of the (small) meta
+// object, keeping replay deterministic.
+func (t *Tree) allocPage(m *meta) (op.ObjectID, error) {
+	id := t.pageID(m.next)
+	m.next++
+	if err := t.eng.Execute(op.NewPhysicalWrite(t.metaID(), encodeMeta(m))); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// Insert adds or replaces key -> val.
+func (t *Tree) Insert(key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("btree: empty key")
+	}
+	m, err := t.meta()
+	if err != nil {
+		return err
+	}
+	// Preemptive split of a full root.
+	root, err := t.readPage(m.root)
+	if err != nil {
+		return err
+	}
+	if len(root.keys) >= int(m.order) {
+		newChild, err := t.allocPage(m)
+		if err != nil {
+			return err
+		}
+		newRoot, err := t.allocPage(m)
+		if err != nil {
+			return err
+		}
+		oldRoot := m.root
+		params := op.EncodeParams([]byte(t.metaID()), []byte(oldRoot), []byte(newChild), []byte(newRoot))
+		split := op.NewLogical(FuncSplitRoot, params,
+			[]op.ObjectID{t.metaID(), oldRoot},
+			[]op.ObjectID{t.metaID(), oldRoot, newChild, newRoot})
+		if err := t.eng.Execute(split); err != nil {
+			return err
+		}
+		m, err = t.meta()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Descend, splitting any full child before entering it.
+	cur := m.root
+	for {
+		p, err := t.readPage(cur)
+		if err != nil {
+			return err
+		}
+		if p.kind == leafPage {
+			params := op.EncodeParams(key, val)
+			return t.eng.Execute(op.NewPhysioWrite(cur, FuncInsertLeaf, params))
+		}
+		childID := p.children[p.childIndex(key)]
+		child, err := t.readPage(childID)
+		if err != nil {
+			return err
+		}
+		if len(child.keys) >= int(m.order) {
+			newID, err := t.allocPage(m)
+			if err != nil {
+				return err
+			}
+			params := op.EncodeParams([]byte(cur), []byte(childID), []byte(newID))
+			split := op.NewLogical(FuncSplitChild, params,
+				[]op.ObjectID{cur, childID},
+				[]op.ObjectID{cur, childID, newID})
+			if err := t.eng.Execute(split); err != nil {
+				return err
+			}
+			// Re-read the parent to pick the correct half.
+			p, err = t.readPage(cur)
+			if err != nil {
+				return err
+			}
+			childID = p.children[p.childIndex(key)]
+		}
+		cur = childID
+	}
+}
+
+// Get returns the value for key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	m, err := t.meta()
+	if err != nil {
+		return nil, false, err
+	}
+	cur := m.root
+	for {
+		p, err := t.readPage(cur)
+		if err != nil {
+			return nil, false, err
+		}
+		if p.kind == leafPage {
+			i, found := findKey(p.keys, key)
+			if !found {
+				return nil, false, nil
+			}
+			return p.vals[i], true, nil
+		}
+		cur = p.children[p.childIndex(key)]
+	}
+}
+
+// Delete removes key; it reports whether the key was present.  Pages are not
+// merged (a common production simplification); the tree stays correct, just
+// possibly sparse.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	_, found, err := t.Get(key)
+	if err != nil || !found {
+		return false, err
+	}
+	m, err := t.meta()
+	if err != nil {
+		return false, err
+	}
+	cur := m.root
+	for {
+		p, err := t.readPage(cur)
+		if err != nil {
+			return false, err
+		}
+		if p.kind == leafPage {
+			return true, t.eng.Execute(op.NewPhysioWrite(cur, FuncDeleteLeaf, op.EncodeParams(key)))
+		}
+		cur = p.children[p.childIndex(key)]
+	}
+}
+
+// Scan visits all key/value pairs in order; fn returns false to stop.
+func (t *Tree) Scan(fn func(key, val []byte) bool) error {
+	m, err := t.meta()
+	if err != nil {
+		return err
+	}
+	_, err = t.scanPage(m.root, fn)
+	return err
+}
+
+func (t *Tree) scanPage(id op.ObjectID, fn func(k, v []byte) bool) (bool, error) {
+	p, err := t.readPage(id)
+	if err != nil {
+		return false, err
+	}
+	if p.kind == leafPage {
+		for i, k := range p.keys {
+			if !fn(k, p.vals[i]) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, c := range p.children {
+		cont, err := t.scanPage(c, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// Stats reports the tree shape.
+type Stats struct {
+	Height    int
+	Pages     int
+	Keys      int
+	LeafPages int
+}
+
+// Stats walks the tree and returns shape statistics.
+func (t *Tree) Stats() (Stats, error) {
+	m, err := t.meta()
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Height: int(m.height)}
+	err = t.walk(m.root, func(p *page) {
+		st.Pages++
+		if p.kind == leafPage {
+			st.LeafPages++
+			st.Keys += len(p.keys)
+		}
+	})
+	return st, err
+}
+
+func (t *Tree) walk(id op.ObjectID, fn func(*page)) error {
+	p, err := t.readPage(id)
+	if err != nil {
+		return err
+	}
+	fn(p)
+	if p.kind == internalPage {
+		for _, c := range p.children {
+			if err := t.walk(c, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Check verifies the structural invariants: key order within pages, key
+// ranges bounded by parent separators, uniform leaf depth, and child counts.
+func (t *Tree) Check() error {
+	m, err := t.meta()
+	if err != nil {
+		return err
+	}
+	leafDepth := -1
+	var check func(id op.ObjectID, lo, hi []byte, depth int) error
+	check = func(id op.ObjectID, lo, hi []byte, depth int) error {
+		p, err := t.readPage(id)
+		if err != nil {
+			return err
+		}
+		for i := 1; i < len(p.keys); i++ {
+			if cmp(p.keys[i-1], p.keys[i]) >= 0 {
+				return fmt.Errorf("btree: %q keys out of order", id)
+			}
+		}
+		for _, k := range p.keys {
+			if lo != nil && cmp(k, lo) < 0 {
+				return fmt.Errorf("btree: %q key below lower bound", id)
+			}
+			if hi != nil && cmp(k, hi) >= 0 {
+				return fmt.Errorf("btree: %q key above upper bound", id)
+			}
+		}
+		if p.kind == leafPage {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			return nil
+		}
+		if len(p.children) != len(p.keys)+1 {
+			return fmt.Errorf("btree: %q has %d children for %d keys", id, len(p.children), len(p.keys))
+		}
+		for i, c := range p.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = p.keys[i-1]
+			}
+			if i < len(p.keys) {
+				chi = p.keys[i]
+			}
+			if err := check(c, clo, chi, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(m.root, nil, nil, 1); err != nil {
+		return err
+	}
+	if leafDepth != -1 && leafDepth != int(m.height) {
+		return fmt.Errorf("btree: meta height %d but leaves at depth %d", m.height, leafDepth)
+	}
+	return nil
+}
+
+func cmp(a, b []byte) int {
+	switch {
+	case string(a) < string(b):
+		return -1
+	case string(a) > string(b):
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,198 @@
+// Package btree implements the database-recovery domain of the paper
+// (Section 1): a B-tree whose pages are recoverable objects and whose page
+// splits are logged as *logical* operations — the split log record names the
+// pages involved and the transformation, never the contents of the new page.
+// "A logical split operation avoids the need to log the contents of the new
+// B-tree node, which is required when using the simpler physiological
+// operation."
+//
+// Splits are single multi-object logical operations (read {parent, child},
+// write {parent, child, new child}), so a crash can never leave a half-split
+// tree: the recovery framework replays or skips the split as one unit.
+// Inserts and deletes within a leaf are physiological single-page
+// operations, exactly as in production systems.
+//
+// The same tree code runs unchanged on an engine configured with
+// core.Options.Physiological, which lowers the logical split to physical
+// page writes — the E9 comparison baseline.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"logicallog/internal/op"
+)
+
+// pageKind discriminates page encodings.
+type pageKind byte
+
+const (
+	leafPage     pageKind = 1
+	internalPage pageKind = 2
+)
+
+// page is the decoded form of a B-tree page.
+//
+// Leaf:     keys[i] -> vals[i].
+// Internal: children[0] <= keys[0] < children[1] <= keys[1] < ... — child i
+// holds keys < keys[i] (and child n holds keys >= keys[n-1]).
+type page struct {
+	kind     pageKind
+	keys     [][]byte
+	vals     [][]byte      // leaf only, len == len(keys)
+	children []op.ObjectID // internal only, len == len(keys)+1
+}
+
+// encodePage serializes a page into an object value.
+func encodePage(p *page) []byte {
+	fields := make([][]byte, 0, 2+2*len(p.keys))
+	fields = append(fields, []byte{byte(p.kind)})
+	switch p.kind {
+	case leafPage:
+		for i, k := range p.keys {
+			fields = append(fields, k, p.vals[i])
+		}
+	case internalPage:
+		fields = append(fields, []byte(p.children[0]))
+		for i, k := range p.keys {
+			fields = append(fields, k, []byte(p.children[i+1]))
+		}
+	}
+	return op.EncodeParams(fields...)
+}
+
+// decodePage parses an object value into a page.
+func decodePage(v []byte) (*page, error) {
+	fields, err := op.DecodeParams(v)
+	if err != nil {
+		return nil, fmt.Errorf("btree: corrupt page: %w", err)
+	}
+	if len(fields) == 0 || len(fields[0]) != 1 {
+		return nil, fmt.Errorf("btree: missing page kind")
+	}
+	p := &page{kind: pageKind(fields[0][0])}
+	rest := fields[1:]
+	switch p.kind {
+	case leafPage:
+		if len(rest)%2 != 0 {
+			return nil, fmt.Errorf("btree: leaf with odd field count %d", len(rest))
+		}
+		for i := 0; i < len(rest); i += 2 {
+			p.keys = append(p.keys, rest[i])
+			p.vals = append(p.vals, rest[i+1])
+		}
+	case internalPage:
+		if len(rest) == 0 || len(rest)%2 != 1 {
+			return nil, fmt.Errorf("btree: internal with bad field count %d", len(rest))
+		}
+		p.children = append(p.children, op.ObjectID(rest[0]))
+		for i := 1; i < len(rest); i += 2 {
+			p.keys = append(p.keys, rest[i])
+			p.children = append(p.children, op.ObjectID(rest[i+1]))
+		}
+	default:
+		return nil, fmt.Errorf("btree: unknown page kind %d", p.kind)
+	}
+	return p, nil
+}
+
+// findKey returns the index of key in keys and whether it is present; if
+// absent, the index is the insertion point.
+func findKey(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(keys[mid], key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childIndex returns the child slot to descend into for key.
+func (p *page) childIndex(key []byte) int {
+	i, found := findKey(p.keys, key)
+	if found {
+		return i + 1 // keys[i] <= key goes right
+	}
+	return i
+}
+
+// insertLeaf inserts (or replaces) key -> val in a leaf, in place.
+func (p *page) insertLeaf(key, val []byte) {
+	i, found := findKey(p.keys, key)
+	if found {
+		p.vals[i] = val
+		return
+	}
+	p.keys = append(p.keys, nil)
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = key
+	p.vals = append(p.vals, nil)
+	copy(p.vals[i+1:], p.vals[i:])
+	p.vals[i] = val
+}
+
+// deleteLeaf removes key from a leaf; reports whether it was present.
+func (p *page) deleteLeaf(key []byte) bool {
+	i, found := findKey(p.keys, key)
+	if !found {
+		return false
+	}
+	p.keys = append(p.keys[:i], p.keys[i+1:]...)
+	p.vals = append(p.vals[:i], p.vals[i+1:]...)
+	return true
+}
+
+// splitRight removes the upper half of the page into a new page and returns
+// (new page, separator key).  For leaves the separator is the first key of
+// the right page (and stays in it); for internal pages the separator moves
+// up and out of both halves.
+func (p *page) splitRight() (*page, []byte) {
+	mid := len(p.keys) / 2
+	right := &page{kind: p.kind}
+	var sep []byte
+	switch p.kind {
+	case leafPage:
+		sep = p.keys[mid]
+		right.keys = append(right.keys, p.keys[mid:]...)
+		right.vals = append(right.vals, p.vals[mid:]...)
+		p.keys = p.keys[:mid]
+		p.vals = p.vals[:mid]
+	case internalPage:
+		sep = p.keys[mid]
+		right.keys = append(right.keys, p.keys[mid+1:]...)
+		right.children = append(right.children, p.children[mid+1:]...)
+		p.keys = p.keys[:mid]
+		p.children = p.children[:mid+1]
+	}
+	return right, sep
+}
+
+// insertChild inserts (sep, child) into an internal page after the slot
+// currently holding oldChild.
+func (p *page) insertChild(sep []byte, oldChild, newChild op.ObjectID) error {
+	slot := -1
+	for i, c := range p.children {
+		if c == oldChild {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return fmt.Errorf("btree: child %q not found in parent", oldChild)
+	}
+	p.keys = append(p.keys, nil)
+	copy(p.keys[slot+1:], p.keys[slot:])
+	p.keys[slot] = sep
+	p.children = append(p.children, "")
+	copy(p.children[slot+2:], p.children[slot+1:])
+	p.children[slot+1] = newChild
+	return nil
+}

@@ -1,0 +1,670 @@
+// Package cache implements the cache manager (CM) of the recovery system:
+// the dirty object table, operation execution against cached state, the
+// PurgeCache installation algorithm of Figure 4 driven by a write graph, the
+// cache-manager-initiated identity writes of Section 4 that break up
+// multi-object atomic flush sets, recovery-SI maintenance, checkpoints, and
+// log truncation.
+//
+// The CM's duty (Section 3) is to ensure there is always a prefix set I of
+// installed operations that explains the stable database.  It discharges
+// that duty by flushing write-graph nodes only when they are minimal and by
+// flushing each node's vars atomically.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"logicallog/internal/graph"
+	"logicallog/internal/op"
+	"logicallog/internal/stable"
+	"logicallog/internal/wal"
+	"logicallog/internal/writegraph"
+)
+
+// FlushStrategy selects how a multi-object atomic flush set is handled.
+type FlushStrategy uint8
+
+const (
+	// StrategyIdentityWrite is the paper's contribution: the CM logs
+	// identity writes W_IP(X) to peel objects out of the flush set until a
+	// single object remains, which is then flushed alone (Section 4).
+	StrategyIdentityWrite FlushStrategy = iota
+	// StrategyShadow flushes multi-object sets atomically with the shadow
+	// mechanism (System R).
+	StrategyShadow
+	// StrategyFlushTxn flushes multi-object sets atomically with a flush
+	// transaction (log values, commit, update in place).
+	StrategyFlushTxn
+)
+
+func (s FlushStrategy) String() string {
+	switch s {
+	case StrategyIdentityWrite:
+		return "identity-write"
+	case StrategyShadow:
+		return "shadow"
+	case StrategyFlushTxn:
+		return "flush-txn"
+	}
+	return fmt.Sprintf("FlushStrategy(%d)", uint8(s))
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Policy selects the write graph (W or rW).
+	Policy writegraph.Policy
+	// Strategy selects the multi-object flush mechanism.
+	Strategy FlushStrategy
+	// LogInstalls controls whether RecInstall records are written when
+	// nodes are installed.  They enable the analysis pass to advance rSIs
+	// (Section 5); turning them off is the E10/ablation baseline.
+	LogInstalls bool
+	// Registry resolves operation transformations.
+	Registry *op.Registry
+	// InstallTrace, when non-nil, receives a snapshot of every installed
+	// write-graph node (debug and inspection use only).
+	InstallTrace func(view *writegraph.NodeView)
+}
+
+// Stats counts cache-manager activity.
+type Stats struct {
+	// OpsExecuted counts operations applied (normal execution + redo).
+	OpsExecuted int64
+	// Installs counts write-graph nodes installed.
+	Installs int64
+	// IdentityWrites counts CM-initiated W_IP operations.
+	IdentityWrites int64
+	// MultiObjectFlushes counts installs whose final flush wrote >1 object.
+	MultiObjectFlushes int64
+	// ObjectsFlushed counts objects written to the stable store by installs.
+	ObjectsFlushed int64
+	// InstalledNotFlushed counts objects installed via Notx (no flush).
+	InstalledNotFlushed int64
+	// Evictions counts clean-entry evictions.
+	Evictions int64
+	// Checkpoints counts checkpoint records written.
+	Checkpoints int64
+}
+
+// ErrNotFound is returned when an object is in neither cache nor stable
+// store (or has been deleted).
+var ErrNotFound = errors.New("cache: object not found")
+
+// entry is a dirty-object-table row.
+type entry struct {
+	val    []byte
+	exists bool // false after delete
+	dirty  bool
+	// vsi is the SI of the last operation applied to the cached value.
+	vsi op.SI
+	// pending lists the LSNs of uninstalled operations that wrote this
+	// object, ascending.  rSI = pending[0]; dirty ⇔ len(pending) > 0.
+	pending []op.SI
+}
+
+func (e *entry) rsi() op.SI {
+	if len(e.pending) == 0 {
+		return op.NilSI
+	}
+	return e.pending[0]
+}
+
+// Manager is the cache manager.  It is not safe for concurrent use; the
+// engine serializes operations (the paper's concerns are recovery ordering,
+// not latching).
+type Manager struct {
+	cfg   Config
+	log   *wal.Log
+	store *stable.Store
+	wg    *writegraph.Graph
+	table map[op.ObjectID]*entry
+	stats Stats
+}
+
+// NewManager builds a cache manager over the given log and stable store.
+func NewManager(cfg Config, log *wal.Log, store *stable.Store) (*Manager, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("cache: Config.Registry is required")
+	}
+	return &Manager{
+		cfg:   cfg,
+		log:   log,
+		store: store,
+		wg:    writegraph.New(cfg.Policy),
+		table: make(map[op.ObjectID]*entry),
+	}, nil
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// WriteGraph exposes the manager's write graph for inspection.
+func (m *Manager) WriteGraph() *writegraph.Graph { return m.wg }
+
+// DirtyCount returns the number of dirty objects.
+func (m *Manager) DirtyCount() int {
+	n := 0
+	for _, e := range m.table {
+		if e.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns the current value of x, faulting it in from the stable store
+// on a miss.  Deleted objects and objects absent everywhere return
+// ErrNotFound.
+func (m *Manager) Get(x op.ObjectID) ([]byte, error) {
+	e, err := m.fault(x)
+	if err != nil {
+		return nil, err
+	}
+	if !e.exists {
+		return nil, fmt.Errorf("%w: %q (deleted)", ErrNotFound, x)
+	}
+	return append([]byte(nil), e.val...), nil
+}
+
+// VSI returns the cached object's state identifier (for tests/inspection).
+func (m *Manager) VSI(x op.ObjectID) (op.SI, bool) {
+	e, ok := m.table[x]
+	if !ok {
+		return 0, false
+	}
+	return e.vsi, true
+}
+
+// CurrentVSI returns the state identifier of x in the recovering state: the
+// cached vSI if x is cached (updated by prior redos), else the stable
+// store's vSI, else NilSI for an object that does not exist.  This is the
+// vSI the REDO tests of Section 5 compare against lSIs.
+func (m *Manager) CurrentVSI(x op.ObjectID) op.SI {
+	if e, ok := m.table[x]; ok {
+		return e.vsi
+	}
+	if v, err := m.store.Read(x); err == nil {
+		return v.VSI
+	}
+	return op.NilSI
+}
+
+// RSI returns the cached object's recovery state identifier, NilSI if clean.
+func (m *Manager) RSI(x op.ObjectID) (op.SI, bool) {
+	e, ok := m.table[x]
+	if !ok {
+		return 0, false
+	}
+	return e.rsi(), true
+}
+
+func (m *Manager) fault(x op.ObjectID) (*entry, error) {
+	if e, ok := m.table[x]; ok {
+		return e, nil
+	}
+	v, err := m.store.Read(x)
+	if errors.Is(err, stable.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, x)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{val: v.Val, exists: true, vsi: v.VSI}
+	m.table[x] = e
+	return e, nil
+}
+
+// Execute runs operation o during normal execution: it reads o's inputs,
+// applies the transformation, logs o (assigning its LSN), applies the writes
+// to the cache, and threads o into the write graph.  The WAL protocol defers
+// forcing until installation.
+func (m *Manager) Execute(o *op.Operation) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if o.LSN != op.NilSI {
+		return fmt.Errorf("cache: operation %s already logged", o)
+	}
+	writes, err := m.computeWrites(o)
+	if err != nil {
+		return err
+	}
+	if _, err := m.log.AppendOp(o); err != nil {
+		return err
+	}
+	return m.applyLogged(o, writes)
+}
+
+// ApplyLogged re-applies an already-logged operation during recovery's redo
+// pass.  The operation keeps its original LSN; no log record is written.
+func (m *Manager) ApplyLogged(o *op.Operation) error {
+	if o.LSN == op.NilSI {
+		return fmt.Errorf("cache: ApplyLogged requires a logged operation")
+	}
+	writes, err := m.computeWrites(o)
+	if err != nil {
+		return err
+	}
+	return m.applyLogged(o, writes)
+}
+
+// TryApplyLogged performs the trial execution of Section 5: it computes the
+// operation's writes and voids the redo (returning voided=true, no state
+// change) if the transformation fails against inapplicable state or
+// attempts to write outside its logged writeset.
+func (m *Manager) TryApplyLogged(o *op.Operation) (voided bool, err error) {
+	if o.LSN == op.NilSI {
+		return false, fmt.Errorf("cache: TryApplyLogged requires a logged operation")
+	}
+	writes, cerr := m.computeWrites(o)
+	if cerr != nil {
+		// Case (b)/(c) of Section 5: writeset violation or execution
+		// exception against inapplicable state voids the redo.
+		return true, nil
+	}
+	return false, m.applyLogged(o, writes)
+}
+
+func (m *Manager) computeWrites(o *op.Operation) (map[op.ObjectID][]byte, error) {
+	reads := make(map[op.ObjectID][]byte, len(o.ReadSet))
+	for _, x := range o.ReadSet {
+		v, err := m.Get(x)
+		if err != nil {
+			return nil, fmt.Errorf("cache: %s reads %q: %w", o, x, err)
+		}
+		reads[x] = v
+	}
+	return m.cfg.Registry.Apply(o, reads)
+}
+
+func (m *Manager) applyLogged(o *op.Operation, writes map[op.ObjectID][]byte) error {
+	for _, x := range o.WriteSet {
+		e, ok := m.table[x]
+		if !ok {
+			// A blind write may create the object; fault in the stable
+			// version if present so the vSI baseline is right, otherwise
+			// start fresh.
+			if v, err := m.store.Read(x); err == nil {
+				e = &entry{val: v.Val, exists: true, vsi: v.VSI}
+			} else {
+				e = &entry{}
+			}
+			m.table[x] = e
+		}
+		v := writes[x]
+		if o.Kind == op.KindDelete || (v == nil && containsObj(o.Deletes, x)) {
+			e.exists = false
+			e.val = nil
+		} else {
+			e.exists = true
+			e.val = v
+		}
+		e.vsi = o.LSN
+		e.dirty = true
+		e.pending = append(e.pending, o.LSN)
+	}
+	if _, err := m.wg.AddOp(o); err != nil {
+		return err
+	}
+	m.stats.OpsExecuted++
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Installation (PurgeCache).
+// ---------------------------------------------------------------------------
+
+// InstallMinimal installs one minimal write-graph node (Figure 4's
+// PurgeCache step) and returns the ids of objects flushed.  It returns
+// ErrNothingToInstall when the write graph is empty.
+//
+// Identity-write breakup of a node can make that node temporarily
+// non-minimal: peeling object X out of vars(n) adds inverse write-read edges
+// q -> n from nodes that read the value n last wrote to X, which now must
+// install first.  InstallMinimal then simply picks a new minimal node; the
+// loop terminates because each identity write permanently shrinks some
+// flush set.
+func (m *Manager) InstallMinimal() ([]op.ObjectID, error) {
+	maxAttempts := 2*m.wg.OpCount() + m.wg.Len() + 16
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		mins := m.wg.Minimal()
+		if len(mins) == 0 {
+			if m.wg.Len() != 0 {
+				return nil, fmt.Errorf("cache: write graph has %d nodes but no minimal node", m.wg.Len())
+			}
+			return nil, ErrNothingToInstall
+		}
+		vars, err := m.InstallNode(mins[0])
+		if errors.Is(err, errDeferred) {
+			continue
+		}
+		return vars, err
+	}
+	return nil, fmt.Errorf("cache: InstallMinimal made no progress after %d attempts", maxAttempts)
+}
+
+// ErrNothingToInstall is returned by InstallMinimal on an empty write graph.
+var ErrNothingToInstall = errors.New("cache: nothing to install")
+
+// errDeferred signals that identity-write breakup re-ordered the graph and
+// the caller should pick a new minimal node.
+var errDeferred = errors.New("cache: node deferred by identity-write breakup")
+
+// InstallNode installs the write-graph node id: under the identity-write
+// strategy it first breaks multi-object flush sets apart with W_IP
+// operations; it forces the log (WAL), flushes vars(n) with the configured
+// atomicity mechanism, logs the installation record, and updates rSIs for
+// both flushed and unflushed (Notx) objects.
+func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
+	nv := m.wg.Node(id)
+	if nv == nil {
+		return nil, fmt.Errorf("cache: no write-graph node %d", id)
+	}
+
+	// Identity-write breakup (Section 4): peel objects out of the atomic
+	// flush set one W_IP at a time.  Each W_IP is a normal logged physical
+	// operation; under rW it lands in its own node and removes its object
+	// from vars(n).
+	if m.cfg.Strategy == StrategyIdentityWrite && len(nv.Vars) > 1 {
+		if m.cfg.Policy != writegraph.PolicyRW {
+			return nil, fmt.Errorf("cache: identity-write breakup requires the refined write graph (W flush sets never shrink)")
+		}
+		// Peel one object per identity write, re-planning each time: the
+		// inverse write-read edges a peel adds can close a cycle whose
+		// collapse merges another node (and its vars) into this one, so a
+		// plan computed up front can go stale.
+		maxPeels := 2*m.wg.OpCount() + len(nv.Writes) + 16
+		for peel := 0; ; peel++ {
+			nv = m.wg.Node(id)
+			if nv == nil {
+				// A cycle collapse absorbed the node elsewhere.
+				return nil, errDeferred
+			}
+			if len(nv.Vars) <= 1 {
+				break
+			}
+			if peel >= maxPeels {
+				return nil, fmt.Errorf("cache: identity-write breakup of node %d made no progress (vars %v)", id, nv.Vars)
+			}
+			plan, err := m.wg.IdentityBreakupPlan(id)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.identityWrite(plan[0]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Breakup may have added inverse write-read predecessors; those nodes
+	// must install first.
+	minimal := false
+	for _, min := range m.wg.Minimal() {
+		if min == id {
+			minimal = true
+			break
+		}
+	}
+	if !minimal {
+		return nil, errDeferred
+	}
+
+	// WAL protocol: every operation being installed must be on the stable
+	// log before its effects reach the stable database.  Additionally, the
+	// very legitimacy of installing a Notx object *without flushing it*
+	// rests on the later blind-write records that made it unexposed —
+	// after this flush, those records are the object's only recovery
+	// source, so they must be durable too.  (This is the paper's
+	// "subsequent values for the objects in Notx(n) ... can be recovered
+	// from the log": they can only be recovered from the *stable* log.)
+	var maxLSN op.SI
+	for _, o := range nv.Ops {
+		if o.LSN > maxLSN {
+			maxLSN = o.LSN
+		}
+	}
+	for _, x := range nv.Notx {
+		if e, ok := m.table[x]; ok && len(e.pending) > 0 {
+			if last := e.pending[len(e.pending)-1]; last > maxLSN {
+				maxLSN = last
+			}
+		}
+	}
+	if err := m.log.ForceThrough(maxLSN); err != nil {
+		return nil, err
+	}
+
+	// Build the flush batch from cached state.  Invariant: for x in
+	// vars(n), the last writer of x is in ops(n) (later writers either
+	// merged in or removed x from vars), so the cached value is Lastw(n,x).
+	entries := make([]stable.Entry, 0, len(nv.Vars))
+	for _, x := range nv.Vars {
+		e, ok := m.table[x]
+		if !ok {
+			return nil, fmt.Errorf("cache: flush set object %q not in cache", x)
+		}
+		entries = append(entries, stable.Entry{
+			ID:     x,
+			Val:    e.val,
+			VSI:    nv.Lastw[x],
+			Delete: !e.exists,
+		})
+	}
+	mode := stable.ModeSingle
+	if len(entries) > 1 {
+		switch m.cfg.Strategy {
+		case StrategyShadow:
+			mode = stable.ModeShadow
+		case StrategyFlushTxn:
+			mode = stable.ModeFlushTxn
+		default:
+			mode = stable.ModeShadow // identity strategy shouldn't get here
+		}
+		m.stats.MultiObjectFlushes++
+	}
+	if len(entries) > 0 {
+		if err := m.store.WriteBatch(entries, mode); err != nil {
+			return nil, err
+		}
+	}
+
+	// Remove the node: its operations are installed.
+	view, err := m.wg.Remove(id)
+	if err != nil {
+		return nil, err
+	}
+	m.stats.Installs++
+	m.stats.ObjectsFlushed += int64(len(view.Vars))
+	m.stats.InstalledNotFlushed += int64(len(view.Notx))
+	if m.cfg.InstallTrace != nil {
+		m.cfg.InstallTrace(view)
+	}
+
+	// Advance rSIs: "we advance the rSI of an object exactly when we
+	// install operations that write it, whether or not the object is
+	// flushed" (Section 5).
+	installed := make(map[op.SI]bool, len(view.Ops))
+	var opLSNs []op.SI
+	for _, o := range view.Ops {
+		installed[o.LSN] = true
+		opLSNs = append(opLSNs, o.LSN)
+	}
+	var flushed, unflushed []wal.ObjectRSI
+	for _, x := range view.Vars {
+		e := m.table[x]
+		e.pending = prunePending(e.pending, installed)
+		if len(e.pending) != 0 {
+			return nil, fmt.Errorf("cache: flushed object %q still has uninstalled writes %v", x, e.pending)
+		}
+		e.dirty = false
+		flushed = append(flushed, wal.ObjectRSI{ID: x, RSI: e.rsi()})
+		if !e.exists {
+			// Terminated objects leave the object table entirely.
+			delete(m.table, x)
+		}
+	}
+	for _, x := range view.Notx {
+		e, ok := m.table[x]
+		if !ok {
+			continue
+		}
+		e.pending = prunePending(e.pending, installed)
+		// The object stays dirty: its cached value comes from the later
+		// blind write that made it unexposed, and that write is still
+		// uninstalled.  Its rSI is that write's lSI.
+		e.dirty = len(e.pending) > 0
+		unflushed = append(unflushed, wal.ObjectRSI{ID: x, RSI: e.rsi()})
+	}
+
+	// Log the installation (lazily; no force needed — Section 5 notes the
+	// vSI check covers a lost install record).
+	if m.cfg.LogInstalls {
+		rec := wal.NewInstallRecord(flushed, unflushed, opLSNs)
+		if len(view.Vars) == 1 && len(view.Notx) == 0 {
+			// Physiological special case: a plain flush record suffices.
+			rec = wal.NewFlushRecord(view.Vars[0], view.Lastw[view.Vars[0]])
+		}
+		if _, err := m.log.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return view.Vars, nil
+}
+
+// identityWrite logs and applies W_IP(x, val(x)) — Section 4's CM-initiated
+// write.  The value does not change; the write is logged physically.  For an
+// object whose lifetime has already been terminated (it sits in the flush
+// set only to propagate its deletion), the CM issues a re-delete instead:
+// a delete is equally a blind write, peels the object out of the flush set
+// the same way, and costs a few bytes rather than a value.
+func (m *Manager) identityWrite(x op.ObjectID) error {
+	e, ok := m.table[x]
+	if !ok {
+		return fmt.Errorf("cache: identity write of missing object %q", x)
+	}
+	var o *op.Operation
+	if e.exists {
+		o = op.NewIdentityWrite(x, e.val)
+	} else {
+		o = op.NewDelete(x)
+	}
+	if err := m.Execute(o); err != nil {
+		return err
+	}
+	m.stats.IdentityWrites++
+	return nil
+}
+
+// PurgeAll installs nodes until the write graph is empty (a full cache
+// purge: every logged operation becomes installed).
+func (m *Manager) PurgeAll() error {
+	for {
+		_, err := m.InstallMinimal()
+		if errors.Is(err, ErrNothingToInstall) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// EvictClean drops the clean object x from the cache; dirty objects cannot
+// be evicted ("we continue to require that an object be clean before it can
+// be dropped from the cache", Section 4).
+func (m *Manager) EvictClean(x op.ObjectID) error {
+	e, ok := m.table[x]
+	if !ok {
+		return nil
+	}
+	if e.dirty {
+		return fmt.Errorf("cache: cannot evict dirty object %q (rSI %d)", x, e.rsi())
+	}
+	delete(m.table, x)
+	m.stats.Evictions++
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints and truncation.
+// ---------------------------------------------------------------------------
+
+// DirtyTable returns the current dirty object table as checkpoint entries,
+// sorted by id.
+func (m *Manager) DirtyTable() []wal.DirtyEntry {
+	var out []wal.DirtyEntry
+	for x, e := range m.table {
+		if e.dirty {
+			out = append(out, wal.DirtyEntry{ID: x, RSI: e.rsi()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Checkpoint writes a checkpoint record carrying the dirty object table and
+// forces the log.  It returns the checkpoint's LSN.
+func (m *Manager) Checkpoint() (op.SI, error) {
+	rec := wal.NewCheckpointRecord(m.DirtyTable())
+	lsn, err := m.log.Append(rec)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.log.Force(); err != nil {
+		return 0, err
+	}
+	m.stats.Checkpoints++
+	return lsn, nil
+}
+
+// TruncationPoint returns the LSN before which the log may be truncated:
+// the minimum rSI over dirty objects, bounded by the given checkpoint LSN.
+// Every uninstalled operation has an LSN >= this point.
+func (m *Manager) TruncationPoint(checkpointLSN op.SI) op.SI {
+	min := checkpointLSN
+	for _, e := range m.table {
+		if e.dirty && e.rsi() < min {
+			min = e.rsi()
+		}
+	}
+	return min
+}
+
+// CheckpointAndTruncate checkpoints and then truncates the durable log
+// before the truncation point.
+func (m *Manager) CheckpointAndTruncate() (op.SI, error) {
+	lsn, err := m.Checkpoint()
+	if err != nil {
+		return 0, err
+	}
+	if err := m.log.Truncate(m.TruncationPoint(lsn)); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// Crash discards all volatile cache-manager state, simulating a crash.
+func (m *Manager) Crash() {
+	m.table = make(map[op.ObjectID]*entry)
+	m.wg = writegraph.New(m.cfg.Policy)
+}
+
+func prunePending(pending []op.SI, installed map[op.SI]bool) []op.SI {
+	out := pending[:0]
+	for _, l := range pending {
+		if !installed[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func containsObj(ids []op.ObjectID, x op.ObjectID) bool {
+	for _, id := range ids {
+		if id == x {
+			return true
+		}
+	}
+	return false
+}

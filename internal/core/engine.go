@@ -1,0 +1,224 @@
+// Package core wires the recovery system together: the write-ahead log, the
+// stable store, the cache manager with its write graph, and crash recovery.
+// It is the engine beneath the public logicallog API and the harness the
+// experiments and simulations drive.
+package core
+
+import (
+	"fmt"
+
+	"logicallog/internal/cache"
+	"logicallog/internal/op"
+	"logicallog/internal/recovery"
+	"logicallog/internal/stable"
+	"logicallog/internal/wal"
+	"logicallog/internal/writegraph"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Policy selects the write graph: writegraph.PolicyRW (the paper) or
+	// writegraph.PolicyW (the [8] baseline).
+	Policy writegraph.Policy
+	// Strategy selects the multi-object flush mechanism.
+	Strategy cache.FlushStrategy
+	// RedoTest selects the REDO predicate used by Recover.
+	RedoTest recovery.RedoTest
+	// LogInstalls enables installation/flush records (Section 5); on by
+	// default in DefaultOptions.
+	LogInstalls bool
+	// Physiological, when set, converts every executed operation into
+	// physical/physiological form before logging: data values read from
+	// other objects are materialized into the log record, exactly the
+	// transformation of Figure 1(b).  This is the paper's comparison
+	// baseline.
+	Physiological bool
+	// Registry resolves transformation functions; defaults to a fresh
+	// registry with builtins.
+	Registry *op.Registry
+	// LogDevice backs the write-ahead log; defaults to an in-memory device.
+	LogDevice wal.Device
+	// InstallTrace, when non-nil, observes every write-graph node install
+	// (debug and inspection use only).
+	InstallTrace func(view *writegraph.NodeView)
+}
+
+// DefaultOptions returns the paper's recommended configuration: refined
+// write graph, identity-write flush breakup, generalized rSI REDO test, and
+// installation logging.
+func DefaultOptions() Options {
+	return Options{
+		Policy:      writegraph.PolicyRW,
+		Strategy:    cache.StrategyIdentityWrite,
+		RedoTest:    recovery.TestRSI,
+		LogInstalls: true,
+	}
+}
+
+// Engine is a recoverable object store with logical logging.
+type Engine struct {
+	opts  Options
+	reg   *op.Registry
+	log   *wal.Log
+	store *stable.Store
+	mgr   *cache.Manager
+
+	// history keeps every executed operation for test oracles; it is
+	// volatile and carries no recovery responsibility.
+	history []*op.Operation
+}
+
+// New builds an engine from options.
+func New(opts Options) (*Engine, error) {
+	if opts.Registry == nil {
+		opts.Registry = op.NewRegistry()
+	}
+	if opts.LogDevice == nil {
+		opts.LogDevice = wal.NewMemDevice()
+	}
+	log, err := wal.New(opts.LogDevice)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, reg: opts.Registry, log: log, store: stable.NewStore()}
+	e.mgr, err = cache.NewManager(e.cacheConfig(), log, e.store)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) cacheConfig() cache.Config {
+	return cache.Config{
+		Policy:       e.opts.Policy,
+		Strategy:     e.opts.Strategy,
+		LogInstalls:  e.opts.LogInstalls,
+		Registry:     e.reg,
+		InstallTrace: e.opts.InstallTrace,
+	}
+}
+
+// Registry returns the engine's function registry (substrates register
+// their transformations on it).
+func (e *Engine) Registry() *op.Registry { return e.reg }
+
+// Log exposes the write-ahead log (statistics, inspection).
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// Store exposes the stable store (statistics, snapshots).
+func (e *Engine) Store() *stable.Store { return e.store }
+
+// Cache exposes the cache manager.
+func (e *Engine) Cache() *cache.Manager { return e.mgr }
+
+// History returns the operations executed since engine creation (volatile;
+// survives nothing — test oracle only).
+func (e *Engine) History() []*op.Operation { return e.history }
+
+// Execute runs one operation through the engine.  Under the Physiological
+// option the operation is first lowered to the Figure 1(b) form.
+func (e *Engine) Execute(o *op.Operation) error {
+	if e.opts.Physiological {
+		lowered, err := e.lowerPhysiological(o)
+		if err != nil {
+			return err
+		}
+		o = lowered
+	}
+	if err := e.mgr.Execute(o); err != nil {
+		return err
+	}
+	e.history = append(e.history, o)
+	return nil
+}
+
+// lowerPhysiological converts a logical operation into physical form by
+// materializing its outputs: the engine computes the operation's writes now
+// and logs them as values.  Physiological single-object self-transforms
+// (Ex, W_PL) pass through unchanged — they are already Figure 1(b) legal.
+func (e *Engine) lowerPhysiological(o *op.Operation) (*op.Operation, error) {
+	switch o.Kind {
+	case op.KindExecute, op.KindPhysioWrite, op.KindPhysicalWrite,
+		op.KindIdentityWrite, op.KindCreate, op.KindDelete:
+		return o, nil
+	}
+	// Compute the writes against current state and log them physically.
+	reads := make(map[op.ObjectID][]byte, len(o.ReadSet))
+	for _, x := range o.ReadSet {
+		v, err := e.mgr.Get(x)
+		if err != nil {
+			return nil, fmt.Errorf("core: lowering %s: %w", o, err)
+		}
+		reads[x] = v
+	}
+	writes, err := e.reg.Apply(o, reads)
+	if err != nil {
+		return nil, err
+	}
+	lowered := &op.Operation{
+		Kind:     op.KindPhysicalWrite,
+		WriteSet: append([]op.ObjectID(nil), o.WriteSet...),
+		Values:   writes,
+	}
+	return lowered, nil
+}
+
+// Get returns the current value of x.
+func (e *Engine) Get(x op.ObjectID) ([]byte, error) { return e.mgr.Get(x) }
+
+// InstallOne installs one minimal write-graph node (cache pressure).
+func (e *Engine) InstallOne() error {
+	_, err := e.mgr.InstallMinimal()
+	if err == cache.ErrNothingToInstall {
+		return nil
+	}
+	return err
+}
+
+// FlushAll installs every uninstalled operation (full purge).
+func (e *Engine) FlushAll() error { return e.mgr.PurgeAll() }
+
+// Checkpoint writes a checkpoint record and truncates the log.
+func (e *Engine) Checkpoint() error {
+	_, err := e.mgr.CheckpointAndTruncate()
+	return err
+}
+
+// Crash simulates a crash: the unforced log tail, the cache, and the write
+// graph are lost; the stable log and stable store survive.
+func (e *Engine) Crash() {
+	e.log.Crash()
+	e.mgr.Crash()
+}
+
+// Recover runs crash recovery and resumes normal operation on the recovered
+// volatile state.  It returns the recovery statistics.
+func (e *Engine) Recover() (*recovery.Result, error) {
+	res, err := recovery.Recover(e.log, e.store, recovery.Options{
+		Test:  e.opts.RedoTest,
+		Cache: e.cacheConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mgr = res.Manager
+	return res, nil
+}
+
+// Stats bundles the engine's counters for reporting.
+type Stats struct {
+	Log   wal.Stats
+	Store stable.IOStats
+	Cache cache.Stats
+}
+
+// Stats returns a snapshot of all counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Log: e.log.Stats(), Store: e.store.Stats(), Cache: e.mgr.Stats()}
+}
+
+// ResetStats zeroes log and store counters (benchmark phases).
+func (e *Engine) ResetStats() {
+	e.log.ResetStats()
+	e.store.ResetStats()
+}

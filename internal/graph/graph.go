@@ -1,0 +1,400 @@
+// Package graph provides the directed-graph machinery the recovery framework
+// is built on: successor/predecessor tracking, Tarjan strongly-connected
+// components, collapse-by-partition (used twice by the paper's WriteGraph
+// construction, Figure 3), topological ordering, reachability, and minimal
+// (predecessor-free) node enumeration.
+//
+// Nodes are opaque int64 ids chosen by the caller.  The graph is a simple
+// digraph: parallel edges are coalesced and self-loops are representable but
+// reported by Validate (write graphs must not contain them after collapse).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node.  Callers allocate ids; the graph never invents
+// them.
+type NodeID int64
+
+// Digraph is a mutable directed graph.  The zero value is not usable; call
+// New.
+type Digraph struct {
+	succ map[NodeID]map[NodeID]struct{}
+	pred map[NodeID]map[NodeID]struct{}
+}
+
+// New returns an empty digraph.
+func New() *Digraph {
+	return &Digraph{
+		succ: make(map[NodeID]map[NodeID]struct{}),
+		pred: make(map[NodeID]map[NodeID]struct{}),
+	}
+}
+
+// AddNode ensures n exists.  Adding an existing node is a no-op.
+func (g *Digraph) AddNode(n NodeID) {
+	if _, ok := g.succ[n]; !ok {
+		g.succ[n] = make(map[NodeID]struct{})
+		g.pred[n] = make(map[NodeID]struct{})
+	}
+}
+
+// HasNode reports whether n exists.
+func (g *Digraph) HasNode(n NodeID) bool {
+	_, ok := g.succ[n]
+	return ok
+}
+
+// AddEdge inserts the edge u -> v, creating the endpoints as needed.
+// Parallel edges coalesce.
+func (g *Digraph) AddEdge(u, v NodeID) {
+	g.AddNode(u)
+	g.AddNode(v)
+	g.succ[u][v] = struct{}{}
+	g.pred[v][u] = struct{}{}
+}
+
+// HasEdge reports whether the edge u -> v exists.
+func (g *Digraph) HasEdge(u, v NodeID) bool {
+	if s, ok := g.succ[u]; ok {
+		_, ok2 := s[v]
+		return ok2
+	}
+	return false
+}
+
+// RemoveEdge deletes u -> v if present.
+func (g *Digraph) RemoveEdge(u, v NodeID) {
+	if s, ok := g.succ[u]; ok {
+		delete(s, v)
+	}
+	if p, ok := g.pred[v]; ok {
+		delete(p, u)
+	}
+}
+
+// RemoveNode deletes n and all incident edges.
+func (g *Digraph) RemoveNode(n NodeID) {
+	for v := range g.succ[n] {
+		delete(g.pred[v], n)
+	}
+	for u := range g.pred[n] {
+		delete(g.succ[u], n)
+	}
+	delete(g.succ, n)
+	delete(g.pred, n)
+}
+
+// Len returns the number of nodes.
+func (g *Digraph) Len() int { return len(g.succ) }
+
+// EdgeCount returns the number of edges.
+func (g *Digraph) EdgeCount() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// Nodes returns all node ids in ascending order.
+func (g *Digraph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.succ))
+	for n := range g.succ {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Succ returns n's successors in ascending order.
+func (g *Digraph) Succ(n NodeID) []NodeID { return sortedKeys(g.succ[n]) }
+
+// Pred returns n's predecessors in ascending order.
+func (g *Digraph) Pred(n NodeID) []NodeID { return sortedKeys(g.pred[n]) }
+
+// InDegree returns the number of predecessors of n.
+func (g *Digraph) InDegree(n NodeID) int { return len(g.pred[n]) }
+
+// OutDegree returns the number of successors of n.
+func (g *Digraph) OutDegree(n NodeID) int { return len(g.succ[n]) }
+
+// Minimal returns the nodes with no predecessors, ascending.  These are the
+// write-graph nodes whose flush installs their operations (Figure 4's
+// "choose a minimal node v in W").
+func (g *Digraph) Minimal() []NodeID {
+	var out []NodeID
+	for n, p := range g.pred {
+		if len(p) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Digraph) Clone() *Digraph {
+	c := New()
+	for n := range g.succ {
+		c.AddNode(n)
+	}
+	for u, s := range g.succ {
+		for v := range s {
+			c.AddEdge(u, v)
+		}
+	}
+	return c
+}
+
+// Reachable reports whether v is reachable from u (u itself counts).
+func (g *Digraph) Reachable(u, v NodeID) bool {
+	if !g.HasNode(u) || !g.HasNode(v) {
+		return false
+	}
+	if u == v {
+		return true
+	}
+	seen := map[NodeID]struct{}{u: {}}
+	stack := []NodeID{u}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range g.succ[n] {
+			if s == v {
+				return true
+			}
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// HasCycle reports whether g contains a directed cycle (self-loops count).
+func (g *Digraph) HasCycle() bool {
+	for _, comp := range g.SCC() {
+		if len(comp) > 1 {
+			return true
+		}
+		if g.HasEdge(comp[0], comp[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// SCC returns the strongly connected components of g using Tarjan's
+// algorithm (iterative, so deep graphs cannot overflow the goroutine stack).
+// Components are returned in reverse topological order (a component appears
+// before the components it can reach... specifically Tarjan emits a
+// component only after all components it reaches), with node ids sorted
+// within each component.
+func (g *Digraph) SCC() [][]NodeID {
+	index := make(map[NodeID]int, len(g.succ))
+	low := make(map[NodeID]int, len(g.succ))
+	onStack := make(map[NodeID]bool, len(g.succ))
+	var stack []NodeID
+	var comps [][]NodeID
+	next := 0
+
+	type frame struct {
+		n     NodeID
+		succs []NodeID
+		i     int
+	}
+
+	for _, root := range g.Nodes() {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{n: root, succs: g.Succ(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				s := f.succs[f.i]
+				f.i++
+				if _, seen := index[s]; !seen {
+					index[s], low[s] = next, next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					frames = append(frames, frame{n: s, succs: g.Succ(s)})
+				} else if onStack[s] && index[s] < low[f.n] {
+					low[f.n] = index[s]
+				}
+				continue
+			}
+			// All successors explored: maybe emit a component.
+			if low[f.n] == index[f.n] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.n {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				comps = append(comps, comp)
+			}
+			n := f.n
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[n] < low[p.n] {
+					low[p.n] = low[n]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// TopoOrder returns a topological ordering of g's nodes.  It returns an
+// error if g is cyclic.  Ties break by ascending node id, so the order is
+// deterministic.
+func (g *Digraph) TopoOrder() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(g.succ))
+	for n := range g.succ {
+		indeg[n] = len(g.pred[n])
+	}
+	var ready []NodeID
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	var order []NodeID
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		newly := []NodeID{}
+		for _, s := range g.Succ(n) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				newly = append(newly, s)
+			}
+		}
+		// Keep the ready list sorted for determinism.
+		ready = append(ready, newly...)
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	if len(order) != len(g.succ) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)", len(order), len(g.succ))
+	}
+	return order, nil
+}
+
+// Collapse collapses g with respect to a partition of its nodes, exactly as
+// in Figure 3 of the paper: the result has one node per partition class, and
+// an edge between classes v and w iff some edge of g connects a member of v
+// to a member of w.  Self-edges created by intra-class edges are dropped
+// (they carry no flush-ordering information once the class flushes
+// atomically).
+//
+// partition maps every node of g to its class id; nodes sharing a class id
+// collapse together.  Class ids become the node ids of the result.
+func (g *Digraph) Collapse(partition map[NodeID]NodeID) (*Digraph, error) {
+	out := New()
+	for n := range g.succ {
+		c, ok := partition[n]
+		if !ok {
+			return nil, fmt.Errorf("graph: node %d missing from partition", n)
+		}
+		out.AddNode(c)
+	}
+	for u, s := range g.succ {
+		cu := partition[u]
+		for v := range s {
+			cv := partition[v]
+			if cu != cv {
+				out.AddEdge(cu, cv)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CondensationPartition returns a partition mapping each node to the
+// smallest node id of its strongly connected component.  Feeding this to
+// Collapse yields the condensation of g, which is acyclic — the second
+// collapse of Figure 3 ("collapsing V made W acyclic").
+func (g *Digraph) CondensationPartition() map[NodeID]NodeID {
+	part := make(map[NodeID]NodeID, len(g.succ))
+	for _, comp := range g.SCC() {
+		rep := comp[0] // components are sorted ascending
+		for _, n := range comp {
+			part[n] = rep
+		}
+	}
+	return part
+}
+
+// TransitiveClosurePartition computes the partition induced by the
+// transitive closure of a symmetric "related" relation over nodes — the
+// first collapse of Figure 3, where O ~ P iff writeset(O) ∩ writeset(P) ≠ ∅.
+// It is implemented as union-find over the provided related pairs.
+func TransitiveClosurePartition(nodes []NodeID, related [][2]NodeID) map[NodeID]NodeID {
+	uf := NewUnionFind()
+	for _, n := range nodes {
+		uf.Add(n)
+	}
+	for _, pair := range related {
+		uf.Union(pair[0], pair[1])
+	}
+	part := make(map[NodeID]NodeID, len(nodes))
+	for _, n := range nodes {
+		part[n] = uf.Find(n)
+	}
+	return part
+}
+
+// Validate checks structural invariants: pred/succ symmetry and absence of
+// dangling endpoints.  Used by tests and by the write-graph packages after
+// mutation-heavy phases.
+func (g *Digraph) Validate() error {
+	for u, s := range g.succ {
+		for v := range s {
+			if _, ok := g.pred[v]; !ok {
+				return fmt.Errorf("graph: edge %d->%d has dangling head", u, v)
+			}
+			if _, ok := g.pred[v][u]; !ok {
+				return fmt.Errorf("graph: edge %d->%d missing from pred index", u, v)
+			}
+		}
+	}
+	for v, p := range g.pred {
+		for u := range p {
+			if _, ok := g.succ[u]; !ok {
+				return fmt.Errorf("graph: edge %d->%d has dangling tail", u, v)
+			}
+			if _, ok := g.succ[u][v]; !ok {
+				return fmt.Errorf("graph: edge %d->%d missing from succ index", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[NodeID]struct{}) []NodeID {
+	out := make([]NodeID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,351 @@
+package installgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"logicallog/internal/op"
+)
+
+// history builds the paper's Figure 1 two-operation history:
+//
+//	A: Y <- f(X,Y)  (logical, A-form)   LSN 1
+//	B: X <- g(Y)    (logical, B-form)   LSN 2
+func figure1History() []*op.Operation {
+	a := op.NewLogical(op.FuncXor, op.EncodeParams([]byte("Y"), []byte("X")), []op.ObjectID{"X", "Y"}, []op.ObjectID{"Y"})
+	a.LSN = 1
+	b := op.NewLogical(op.FuncCopy, []byte("X"), []op.ObjectID{"Y"}, []op.ObjectID{"X"})
+	b.LSN = 2
+	return []*op.Operation{a, b}
+}
+
+func TestBuildValidation(t *testing.T) {
+	a := op.NewPhysicalWrite("X", []byte("1"))
+	if _, err := Build([]*op.Operation{a}); err == nil {
+		t.Error("Build must reject an operation without an LSN")
+	}
+	a.LSN = 5
+	b := op.NewPhysicalWrite("X", []byte("2"))
+	b.LSN = 5
+	if _, err := Build([]*op.Operation{a, b}); err == nil {
+		t.Error("Build must reject duplicate LSNs")
+	}
+	b.LSN = 4
+	if _, err := Build([]*op.Operation{a, b}); err == nil {
+		t.Error("Build must reject descending LSNs")
+	}
+}
+
+func TestFigure1Edges(t *testing.T) {
+	ig, err := Build(figure1History())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A reads X, B writes X: read-write edge A -> B.
+	if !ig.HasEdge(1, 2) {
+		t.Fatal("missing installation edge A -> B")
+	}
+	if k := ig.EdgeKindOf(1, 2); k&EdgeReadWrite == 0 {
+		t.Errorf("edge A->B kind = %v, want read-write", k)
+	}
+	// No backward edge.
+	if ig.HasEdge(2, 1) {
+		t.Error("unexpected edge B -> A")
+	}
+	if got := ig.Predecessors(2); !reflect.DeepEqual(got, []op.SI{1}) {
+		t.Errorf("Predecessors(B) = %v", got)
+	}
+	if ig.Len() != 2 || ig.Op(1) == nil || ig.Op(3) != nil {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestEdgeKinds(t *testing.T) {
+	// O writes X; P writes X and reads nothing -> pure write-write edge.
+	o := op.NewPhysicalWrite("X", []byte("a"))
+	o.LSN = 1
+	p := op.NewPhysicalWrite("X", []byte("b"))
+	p.LSN = 2
+	ig, err := Build([]*op.Operation{o, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := ig.EdgeKindOf(1, 2); k != EdgeWriteWrite {
+		t.Errorf("kind = %v, want ww", k)
+	}
+	if EdgeReadWrite.String() != "rw" || EdgeWriteWrite.String() != "ww" ||
+		(EdgeReadWrite|EdgeWriteWrite).String() != "rw|ww" || EdgeKind(0).String() != "none" {
+		t.Error("EdgeKind.String wrong")
+	}
+}
+
+func TestWriteReadEdgesDiscarded(t *testing.T) {
+	// O writes X; P reads X (writes elsewhere).  Write-read edges are
+	// discarded by the installation graph.
+	o := op.NewPhysicalWrite("X", []byte("a"))
+	o.LSN = 1
+	p := op.NewLogical(op.FuncCopy, []byte("Z"), []op.ObjectID{"X"}, []op.ObjectID{"Z"})
+	p.LSN = 2
+	ig, err := Build([]*op.Operation{o, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ig.HasEdge(1, 2) || ig.HasEdge(2, 1) {
+		t.Error("write-read dependency must not produce an installation edge")
+	}
+}
+
+func TestIsPrefixSet(t *testing.T) {
+	ig, _ := Build(figure1History())
+	if !ig.IsPrefixSet(NewPrefixSet()) {
+		t.Error("empty set is a prefix set")
+	}
+	if !ig.IsPrefixSet(NewPrefixSet(1)) {
+		t.Error("{A} is a prefix set")
+	}
+	if ig.IsPrefixSet(NewPrefixSet(2)) {
+		t.Error("{B} is not a prefix set (A -> B edge)")
+	}
+	if !ig.IsPrefixSet(NewPrefixSet(1, 2)) {
+		t.Error("{A,B} is a prefix set")
+	}
+	if ig.IsPrefixSet(NewPrefixSet(9)) {
+		t.Error("unknown LSN cannot form a prefix set")
+	}
+}
+
+func TestExposed(t *testing.T) {
+	ig, _ := Build(figure1History())
+	// I = {}: minimal uninstalled toucher of Y is A, which reads Y -> exposed.
+	if !ig.Exposed(NewPrefixSet(), "Y") {
+		t.Error("Y must be exposed by {} (A reads Y)")
+	}
+	// X: minimal uninstalled toucher is A, which reads X -> exposed.
+	if !ig.Exposed(NewPrefixSet(), "X") {
+		t.Error("X must be exposed by {} (A reads X)")
+	}
+	// I = {A}: minimal uninstalled toucher of X is B, which does not read X
+	// (B writes X blindly from Y) -> X unexposed.
+	if ig.Exposed(NewPrefixSet(1), "X") {
+		t.Error("X must be unexposed by {A} (B writes X blindly)")
+	}
+	// Y touched by B (reads Y) -> exposed.
+	if !ig.Exposed(NewPrefixSet(1), "Y") {
+		t.Error("Y must be exposed by {A} (B reads Y)")
+	}
+	// I = {A,B}: nothing uninstalled -> everything exposed.
+	if !ig.Exposed(NewPrefixSet(1, 2), "X") || !ig.Exposed(NewPrefixSet(1, 2), "Y") {
+		t.Error("all objects exposed once everything installed")
+	}
+	// An object never touched is exposed under any I.
+	if !ig.Exposed(NewPrefixSet(), "Z") {
+		t.Error("untouched object must be exposed")
+	}
+}
+
+func TestLastWriter(t *testing.T) {
+	ig, _ := Build(figure1History())
+	if got := ig.LastWriter(NewPrefixSet(1, 2), "X"); got != 2 {
+		t.Errorf("LastWriter(X) = %d", got)
+	}
+	if got := ig.LastWriter(NewPrefixSet(1), "X"); got != op.NilSI {
+		t.Errorf("LastWriter(X) under {A} = %d, want none", got)
+	}
+	if got := ig.LastWriter(NewPrefixSet(1), "Y"); got != 1 {
+		t.Errorf("LastWriter(Y) = %d", got)
+	}
+}
+
+func TestValueAfterAndExplains(t *testing.T) {
+	reg := op.NewRegistry()
+	ig, _ := Build(figure1History())
+	initial := map[op.ObjectID][]byte{"X": {1, 1}, "Y": {2, 2}}
+	objects := ig.TouchedObjects()
+
+	// After {A}: Y = Y xor X = {3,3}; X unchanged.
+	s1, err := ig.ValueAfter(reg, NewPrefixSet(1), initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Equal(s1["Y"], []byte{3, 3}) || !op.Equal(s1["X"], []byte{1, 1}) {
+		t.Errorf("ValueAfter({A}) = %v", s1)
+	}
+	// After {A,B}: X = copy(Y) = {3,3}.
+	s2, err := ig.ValueAfter(reg, NewPrefixSet(1, 2), initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Equal(s2["X"], []byte{3, 3}) {
+		t.Errorf("ValueAfter({A,B}) X = %v", s2["X"])
+	}
+
+	// The initial state is explained by {} (both X and Y exposed, values match).
+	ok, err := ig.Explains(reg, NewPrefixSet(), initial, initial, objects)
+	if err != nil || !ok {
+		t.Errorf("initial state must be explained by {}: %v %v", ok, err)
+	}
+	// State after A is explained by {A}.
+	ok, err = ig.Explains(reg, NewPrefixSet(1), s1, initial, objects)
+	if err != nil || !ok {
+		t.Errorf("state after A must be explained by {A}: %v %v", ok, err)
+	}
+	// Key subtlety (Figure 5 reasoning): the state where Y was flushed but X
+	// was not — {X: old, Y: new} — is explained by {A}: Y exposed & correct,
+	// X unexposed so its stale value does not matter.
+	mixed := map[op.ObjectID][]byte{"X": {1, 1}, "Y": {3, 3}}
+	ok, err = ig.Explains(reg, NewPrefixSet(1), mixed, initial, objects)
+	if err != nil || !ok {
+		t.Errorf("mixed state must be explained by {A}: %v %v", ok, err)
+	}
+	// The flush-order violation state — X updated (as if B installed) but Y
+	// stale — is NOT explained by any prefix set: {} needs X={1,1}, {A}
+	// needs Y={3,3}, {A,B} needs both new.
+	bad := map[op.ObjectID][]byte{"X": {3, 3}, "Y": {2, 2}}
+	_, found, err := ig.FindExplanation(reg, bad, initial, objects, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("flush-order-violating state must be unexplainable")
+	}
+	// Non-prefix set is rejected by Explains.
+	ok, err = ig.Explains(reg, NewPrefixSet(2), s2, initial, objects)
+	if err != nil || ok {
+		t.Error("Explains must reject non-prefix sets")
+	}
+}
+
+func TestMinimalUninstalledAndExtend(t *testing.T) {
+	ig, _ := Build(figure1History())
+	if got := ig.MinimalUninstalled(NewPrefixSet()); !reflect.DeepEqual(got, []op.SI{1}) {
+		t.Errorf("MinimalUninstalled({}) = %v", got)
+	}
+	if got := ig.MinimalUninstalled(NewPrefixSet(1)); !reflect.DeepEqual(got, []op.SI{2}) {
+		t.Errorf("MinimalUninstalled({A}) = %v", got)
+	}
+	if got := ig.MinimalUninstalled(NewPrefixSet(1, 2)); len(got) != 0 {
+		t.Errorf("MinimalUninstalled({A,B}) = %v", got)
+	}
+	I := ig.Extend(NewPrefixSet(), 1)
+	if !I[1] || len(I) != 1 {
+		t.Errorf("Extend = %v", I)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Extend to a non-prefix set must panic")
+		}
+	}()
+	ig.Extend(NewPrefixSet(), 2)
+}
+
+// TestTheorem1Property checks Theorem 1 on random histories: if I explains
+// the state reached by executing I, then installing any minimal uninstalled
+// operation yields a state explained by extend(I,O).
+func TestTheorem1Property(t *testing.T) {
+	reg := op.NewRegistry()
+	rng := rand.New(rand.NewSource(7))
+	objects := []op.ObjectID{"O0", "O1", "O2", "O3"}
+
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8)
+		history := make([]*op.Operation, 0, n)
+		for i := 0; i < n; i++ {
+			o := randomOp(rng, objects)
+			o.LSN = op.SI(i + 1)
+			history = append(history, o)
+		}
+		ig, err := Build(history)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := map[op.ObjectID][]byte{}
+		for _, x := range objects {
+			initial[x] = []byte{byte(rng.Intn(256))}
+		}
+		univ := append(ig.TouchedObjects(), objects...)
+		univ = op.Canonicalize(univ)
+
+		// Start from I = {} and repeatedly install minimal uninstalled ops.
+		I := NewPrefixSet()
+		for len(I) < n {
+			S, err := ig.ValueAfter(reg, I, initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := ig.Explains(reg, I, S, initial, univ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: I=%v does not explain its own execution state", trial, I.Sorted())
+			}
+			mins := ig.MinimalUninstalled(I)
+			if len(mins) == 0 {
+				t.Fatalf("trial %d: no minimal uninstalled op with |I|=%d < %d", trial, len(I), n)
+			}
+			// Install a random minimal op.
+			I = ig.Extend(I, mins[rng.Intn(len(mins))])
+		}
+	}
+}
+
+func randomOp(rng *rand.Rand, objects []op.ObjectID) *op.Operation {
+	x := objects[rng.Intn(len(objects))]
+	y := objects[rng.Intn(len(objects))]
+	switch rng.Intn(4) {
+	case 0: // physical blind write
+		return op.NewPhysicalWrite(x, []byte{byte(rng.Intn(256))})
+	case 1: // physiological append
+		return op.NewPhysioWrite(x, op.FuncAppend, []byte{byte(rng.Intn(256))})
+	case 2: // A-form: y <- y xor x
+		if x == y {
+			return op.NewPhysioWrite(x, op.FuncAppend, []byte{1})
+		}
+		return op.NewLogical(op.FuncXor, op.EncodeParams([]byte(y), []byte(x)), []op.ObjectID{x, y}, []op.ObjectID{y})
+	default: // B-form: x <- copy(y)
+		if x == y {
+			return op.NewPhysioWrite(x, op.FuncAppend, []byte{2})
+		}
+		return op.NewLogical(op.FuncCopy, []byte(x), []op.ObjectID{y}, []op.ObjectID{x})
+	}
+}
+
+func TestTouchedObjects(t *testing.T) {
+	ig, _ := Build(figure1History())
+	if got := ig.TouchedObjects(); !reflect.DeepEqual(got, []op.ObjectID{"X", "Y"}) {
+		t.Errorf("TouchedObjects = %v", got)
+	}
+}
+
+func TestFindExplanationLargeHistoryFallback(t *testing.T) {
+	// 25 ops > exhaustive limit: fallback tries log prefixes.
+	reg := op.NewRegistry()
+	var history []*op.Operation
+	for i := 0; i < 25; i++ {
+		o := op.NewPhysioWrite("X", op.FuncAppend, []byte{byte(i)})
+		o.LSN = op.SI(i + 1)
+		history = append(history, o)
+	}
+	ig, err := Build(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := map[op.ObjectID][]byte{"X": nil}
+	// State after 10 ops.
+	I10 := NewPrefixSet()
+	for i := 0; i < 10; i++ {
+		I10[op.SI(i+1)] = true
+	}
+	S, err := ig.ValueAfter(reg, I10, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	I, found, err := ig.FindExplanation(reg, S, initial, ig.TouchedObjects(), 20)
+	if err != nil || !found {
+		t.Fatalf("explanation not found: %v", err)
+	}
+	if len(I) != 10 {
+		t.Errorf("explanation size = %d, want 10", len(I))
+	}
+}

@@ -1,0 +1,299 @@
+// Package recovery implements crash recovery: the ARIES-style analysis pass
+// that reconstructs the dirty object table (with generalized recovery SIs)
+// from checkpoint, flush, and installation records, and the redo pass of
+// Figure 2 driven by one of the paper's REDO tests.
+//
+// Three REDO tests are provided, in increasing sophistication, matching the
+// progression of Section 5:
+//
+//   - TestRedoAll replays every logged operation (safe only because redo is
+//     wrapped in a trial execution that voids inapplicable replays);
+//   - TestVSI is the traditional state-identifier test: redo unless some
+//     object of writeset(Op) already carries vSI >= lSI (manifest
+//     installation; atomic installation makes one object's witness enough);
+//   - TestRSI is the paper's generalized test: redo iff some object of
+//     writeset(Op) is both uninstalled (lSI >= rSI from the dirty object
+//     table) and exposed (lSI > vSI) — operations whose results are wholly
+//     unexposed (deleted files, dead application states, blind-overwritten
+//     objects) are bypassed even though their values were never flushed.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"logicallog/internal/cache"
+	"logicallog/internal/op"
+	"logicallog/internal/stable"
+	"logicallog/internal/wal"
+)
+
+// RedoTest selects the REDO predicate.
+type RedoTest uint8
+
+const (
+	// TestRedoAll redoes every scanned operation (with trial-execution
+	// voiding).
+	TestRedoAll RedoTest = iota
+	// TestVSI is the traditional "is installed" vSI test.
+	TestVSI
+	// TestRSI combines "is installed" with "is exposed" using generalized
+	// recovery SIs (the paper's contribution).
+	TestRSI
+)
+
+func (t RedoTest) String() string {
+	switch t {
+	case TestRedoAll:
+		return "redo-all"
+	case TestVSI:
+		return "vSI"
+	case TestRSI:
+		return "rSI"
+	}
+	return fmt.Sprintf("RedoTest(%d)", uint8(t))
+}
+
+// Options parameterizes recovery.
+type Options struct {
+	// Test selects the REDO predicate (default TestRSI).
+	Test RedoTest
+	// Cache configures the cache manager recovery rebuilds (policy,
+	// strategy, registry).  Registry is required.
+	Cache cache.Config
+	// Trace, when non-nil, receives each redo-pass decision ("redo",
+	// "skip-installed", "skip-unexposed", "voided") as it is made.  Debug
+	// and inspection use only.
+	Trace func(o *op.Operation, decision string)
+}
+
+// Result reports what recovery did.
+type Result struct {
+	// Manager is the rebuilt cache manager holding the recovered volatile
+	// state (dirty objects and reconstructed write graph); normal
+	// operation continues on it.
+	Manager *cache.Manager
+	// CheckpointLSN is the checkpoint analysis started from (0 if none).
+	CheckpointLSN op.SI
+	// RedoStart is the LSN the redo scan started at.
+	RedoStart op.SI
+	// AnalyzedRecords counts records examined by the analysis pass.
+	AnalyzedRecords int
+	// ScannedOps counts operation records examined by the redo pass.
+	ScannedOps int
+	// Redone counts operations re-executed.
+	Redone int
+	// SkippedInstalled counts operations bypassed as manifestly installed
+	// (vSI witness).
+	SkippedInstalled int
+	// SkippedUnexposed counts operations bypassed because their writesets
+	// were wholly unexposed or clean per the dirty object table (rSI
+	// reasoning; only under TestRSI).
+	SkippedUnexposed int
+	// Voided counts trial executions voided (Section 5 cases b/c).
+	Voided int
+	// PendingFlushTxnRepaired reports whether a committed flush
+	// transaction was completed before redo.
+	PendingFlushTxnRepaired bool
+}
+
+// dirtyTable is the analysis pass's reconstruction of the dirty object
+// table: object -> rSI of its earliest possibly-uninstalled update.
+type dirtyTable map[op.ObjectID]op.SI
+
+// Recover performs full crash recovery over the durable log and stable
+// store and returns the rebuilt volatile state.  It is idempotent: crashing
+// during recovery and recovering again yields the same stable state, because
+// recovery itself follows the same WAL and write-graph disciplines as normal
+// operation and never resets installed state (history is repeated, not
+// undone).
+func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
+	res := &Result{}
+
+	// Step 0: finish any committed-but-interrupted flush transaction, as
+	// restart processing replays the flush-transaction log.
+	if store.HasPending() {
+		store.RecoverPending()
+		res.PendingFlushTxnRepaired = true
+	}
+
+	mgr, err := cache.NewManager(opts.Cache, log, store)
+	if err != nil {
+		return nil, err
+	}
+	res.Manager = mgr
+
+	// Analysis pass.
+	dot, err := analyze(log, res, opts.Test)
+	if err != nil {
+		return nil, err
+	}
+
+	// Redo scan start point: the minimum rSI over the reconstructed dirty
+	// object table.  With an empty table nothing needs redo, but scanning
+	// from the end is still performed so counters stay meaningful.
+	redoStart := log.NextLSN()
+	for _, rsi := range dot {
+		if rsi < redoStart {
+			redoStart = rsi
+		}
+	}
+	res.RedoStart = redoStart
+
+	// Redo pass (Figure 2): scan from the start point, test, replay.
+	sc, err := log.Scan(redoStart)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != wal.RecOperation {
+			continue
+		}
+		res.ScannedOps++
+		o := rec.Op
+		redo, installedWitness := redoDecision(opts.Test, mgr, dot, o)
+		if !redo {
+			if installedWitness {
+				res.SkippedInstalled++
+				trace(opts, o, "skip-installed")
+			} else {
+				res.SkippedUnexposed++
+				trace(opts, o, "skip-unexposed")
+			}
+			continue
+		}
+		voided, err := mgr.TryApplyLogged(o.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("recovery: redo of %s: %w", o, err)
+		}
+		if voided {
+			res.Voided++
+			trace(opts, o, "voided")
+		} else {
+			res.Redone++
+			trace(opts, o, "redo")
+		}
+	}
+	return res, nil
+}
+
+// analyze reconstructs the dirty object table from the most recent
+// checkpoint (if any) forward, applying the Section 5 update rules:
+// operation records dirty their written objects; flush records clean their
+// object; installation records clean flushed objects and — only under the
+// generalized TestRSI — advance rSIs of unflushed (unexposed) objects.  A
+// traditional vSI recovery has no notion of installed-without-flushing, so
+// under TestVSI/TestRedoAll those objects stay dirty at their first-update
+// rSI and the redo scan is correspondingly longer.
+func analyze(log *wal.Log, res *Result, test RedoTest) (dirtyTable, error) {
+	dot := make(dirtyTable)
+	scanFrom := log.FirstLSN()
+	cp, err := log.LastCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	if cp != nil {
+		res.CheckpointLSN = cp.LSN
+		scanFrom = cp.LSN
+		for _, d := range cp.Checkpoint.Dirty {
+			dot[d.ID] = d.RSI
+		}
+	}
+	sc, err := log.Scan(scanFrom)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			return dot, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.AnalyzedRecords++
+		switch rec.Type {
+		case wal.RecOperation:
+			for _, x := range rec.Op.WriteSet {
+				if _, dirty := dot[x]; !dirty {
+					// First uninstalled update after the object was last
+					// clean: its rSI.
+					dot[x] = rec.LSN
+				}
+			}
+		case wal.RecFlush:
+			delete(dot, rec.Flush.Object)
+		case wal.RecInstall:
+			for _, f := range rec.Install.Flushed {
+				if f.RSI == op.NilSI {
+					delete(dot, f.ID)
+				} else {
+					dot[f.ID] = f.RSI
+				}
+			}
+			if test == TestRSI {
+				for _, u := range rec.Install.Unflushed {
+					if u.RSI == op.NilSI {
+						delete(dot, u.ID)
+					} else {
+						// The unexposed object's rSI advances to the lSI
+						// of the blind write that follows it.
+						dot[u.ID] = u.RSI
+					}
+				}
+			}
+		case wal.RecCheckpoint:
+			// A later checkpoint inside the scan range restates the table.
+			dot = make(dirtyTable)
+			for _, d := range rec.Checkpoint.Dirty {
+				dot[d.ID] = d.RSI
+			}
+		}
+	}
+}
+
+func trace(opts Options, o *op.Operation, decision string) {
+	if opts.Trace != nil {
+		opts.Trace(o, decision)
+	}
+}
+
+// redoDecision evaluates the REDO test for o against the recovering state.
+// It returns whether to redo, and (when not redoing) whether the skip was
+// justified by an installed witness (vSI) as opposed to unexposed/clean
+// reasoning (rSI).
+func redoDecision(test RedoTest, mgr *cache.Manager, dot dirtyTable, o *op.Operation) (redo, installedWitness bool) {
+	if test == TestRedoAll {
+		return true, false
+	}
+	// Manifest installation: atomic installation of writeset(Op) means one
+	// object with vSI >= lSI proves Op installed.  This also protects
+	// exposed objects from being reset by a spurious redo.
+	for _, x := range o.WriteSet {
+		if mgr.CurrentVSI(x) >= o.LSN {
+			return false, true
+		}
+	}
+	if test == TestVSI {
+		return true, false
+	}
+	// Generalized test: redo iff some written object is both possibly
+	// uninstalled (lSI >= rSI) and exposed (lSI > vSI; already established
+	// above).  Objects absent from the dirty object table are clean —
+	// every update of theirs is installed.
+	for _, x := range o.WriteSet {
+		rsi, dirty := dot[x]
+		if dirty && o.LSN >= rsi {
+			return true, false
+		}
+	}
+	return false, false
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"logicallog/internal/cache"
+	"logicallog/internal/core"
+	"logicallog/internal/installgraph"
+	"logicallog/internal/op"
+	"logicallog/internal/recovery"
+	"logicallog/internal/stable"
+	"logicallog/internal/wal"
+	"logicallog/internal/writegraph"
+)
+
+// TestStableStateAlwaysExplainable checks the paper's Theorem 3 directly:
+// after any interleaving of operations and PurgeCache installs, the stable
+// database is *explainable* — some prefix set I of the durable history's
+// installation graph explains it (every object exposed by I holds exactly
+// the value it has after the last operation of I).
+//
+// The check uses the exhaustive installation-graph oracle over all
+// downward-closed subsets, so histories are kept small (≤ 14 operations) and
+// many random interleavings are tried instead.
+func TestStableStateAlwaysExplainable(t *testing.T) {
+	objects := []op.ObjectID{"x", "y", "z"}
+	for _, policy := range []writegraph.Policy{writegraph.PolicyRW, writegraph.PolicyW} {
+		for seed := int64(1); seed <= 40; seed++ {
+			strat := cache.StrategyIdentityWrite
+			if policy == writegraph.PolicyW {
+				strat = cache.StrategyShadow
+			}
+			eng, err := core.New(core.Options{
+				Policy: policy, Strategy: strat,
+				RedoTest: recovery.TestRSI, LogInstalls: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			// Pre-history: create the objects, install them, and truncate
+			// the creations off the log.  The objects' base values then
+			// exist only in the stable database, which keeps the
+			// explainability check non-vacuous (with blind creations still
+			// on the log, I = {} would explain any state whatsoever).
+			for i, x := range objects {
+				if err := eng.Execute(op.NewPhysicalWrite(x, []byte{byte(i + 1)})); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := eng.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			initial := map[op.ObjectID][]byte{}
+			for id, v := range eng.Store().Snapshot() {
+				initial[id] = v.Val
+			}
+			nops := 4 + rng.Intn(8)
+			for i := 0; i < nops; i++ {
+				if err := eng.Execute(smallOp(rng, objects, len(objects)+i)); err != nil {
+					t.Fatal(err)
+				}
+				if rng.Intn(3) == 0 {
+					if err := eng.InstallOne(); err != nil {
+						t.Fatalf("policy %v seed %d: %v", policy, seed, err)
+					}
+				}
+			}
+			// A final force so the durable history includes every logged
+			// operation (identity writes included).
+			if err := eng.Log().Force(); err != nil {
+				t.Fatal(err)
+			}
+			checkExplainable(t, eng, policy, seed, initial)
+		}
+	}
+}
+
+func smallOp(rng *rand.Rand, objects []op.ObjectID, i int) *op.Operation {
+	x := objects[rng.Intn(len(objects))]
+	y := objects[rng.Intn(len(objects))]
+	// The first few ops create the objects (blind physical writes work on
+	// absent objects, so creation order is unconstrained).
+	if i < len(objects) {
+		return op.NewPhysicalWrite(objects[i], []byte{byte(i + 1)})
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return op.NewPhysicalWrite(x, []byte{byte(rng.Intn(200) + 1)})
+	case 1:
+		return op.NewPhysioWrite(x, op.FuncAppend, []byte{byte(rng.Intn(256))})
+	case 2:
+		if x == y {
+			return op.NewPhysioWrite(x, op.FuncAppend, []byte{3})
+		}
+		return op.NewLogical(op.FuncXor, op.EncodeParams([]byte(y), []byte(x)),
+			[]op.ObjectID{x, y}, []op.ObjectID{y})
+	default:
+		if x == y {
+			return op.NewPhysioWrite(x, op.FuncAppend, []byte{4})
+		}
+		return op.NewLogical(op.FuncCopy, []byte(x), []op.ObjectID{y}, []op.ObjectID{x})
+	}
+}
+
+// TestFlushOrderViolationUnexplainable is the negative control for the
+// oracle and the paper's core motivation: if a (buggy) cache manager flushed
+// operation B's output X without first flushing A's output Y — the order the
+// write graph forbids in Figure 1 — the stable state is unexplainable, and
+// the oracle says so.
+func TestFlushOrderViolationUnexplainable(t *testing.T) {
+	eng, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Execute(op.NewPhysicalWrite("X", []byte{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Execute(op.NewPhysicalWrite("Y", []byte{2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the creations off the log: the pre-history values of X and Y
+	// now exist only in the stable database.  (With the blind creations
+	// still on the log, every state would be trivially explainable by
+	// I = {} — everything could be re-created from scratch.)
+	if err := eng.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	initial := map[op.ObjectID][]byte{}
+	for id, v := range eng.Store().Snapshot() {
+		initial[id] = v.Val
+	}
+	// A: Y <- Y xor X; B: X <- copy(Y).
+	if err := eng.Execute(op.NewLogical(op.FuncXor, op.EncodeParams([]byte("Y"), []byte("X")),
+		[]op.ObjectID{"X", "Y"}, []op.ObjectID{"Y"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Execute(op.NewLogical(op.FuncCopy, []byte("X"),
+		[]op.ObjectID{"Y"}, []op.ObjectID{"X"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Violate the flush order behind the cache manager's back: write B's
+	// cached X result to the stable store while A's Y result stays unflushed.
+	xVal, err := eng.Get("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Store().Snapshot()
+	snap["X"] = stable.Versioned{Val: xVal, VSI: 4}
+	eng.Store().Restore(snap)
+
+	// The oracle must reject this state.
+	sc, _ := eng.Log().Scan(0)
+	var history []*op.Operation
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Type == wal.RecOperation {
+			history = append(history, rec.Op)
+		}
+	}
+	ig, err := installgraph.Build(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := map[op.ObjectID][]byte{}
+	for id, v := range eng.Store().Snapshot() {
+		S[id] = v.Val
+	}
+	_, found, err := ig.FindExplanation(eng.Registry(), S, initial, ig.TouchedObjects(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("flush-order-violating stable state was explainable; the oracle has no teeth")
+	}
+
+	// Control: the state the cache manager would actually produce — Y
+	// flushed first (A installed), X stale — IS explainable.
+	good := map[op.ObjectID]stable.Versioned{
+		"X": {Val: initial["X"], VSI: 1},
+		"Y": {Val: []byte{initial["X"][0] ^ initial["Y"][0]}, VSI: 3},
+	}
+	eng.Store().Restore(good)
+	S = map[op.ObjectID][]byte{}
+	for id, v := range eng.Store().Snapshot() {
+		S[id] = v.Val
+	}
+	if _, found, err = ig.FindExplanation(eng.Registry(), S, initial, ig.TouchedObjects(), 16); err != nil || !found {
+		t.Fatalf("the legal flush order's state must be explainable (found=%v, err=%v)", found, err)
+	}
+}
+
+func checkExplainable(t *testing.T, eng *core.Engine, policy writegraph.Policy, seed int64, initial map[op.ObjectID][]byte) {
+	t.Helper()
+	// Durable history from the log itself (includes CM identity writes).
+	sc, err := eng.Log().Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []*op.Operation
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Type == wal.RecOperation {
+			history = append(history, rec.Op)
+		}
+	}
+	if len(history) > 16 {
+		t.Fatalf("history too large for the exhaustive oracle: %d", len(history))
+	}
+	ig, err := installgraph.Build(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable state snapshot.
+	S := map[op.ObjectID][]byte{}
+	for id, v := range eng.Store().Snapshot() {
+		S[id] = v.Val
+	}
+	I, found, err := ig.FindExplanation(eng.Registry(), S, initial, ig.TouchedObjects(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatalf("policy %v seed %d: stable state is UNEXPLAINABLE\nhistory: %v\nstate: %v",
+			policy, seed, history, S)
+	}
+	// Sanity: the explanation is a genuine prefix set.
+	if !ig.IsPrefixSet(I) {
+		t.Fatalf("policy %v seed %d: oracle returned a non-prefix set", policy, seed)
+	}
+}

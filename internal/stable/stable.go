@@ -1,0 +1,375 @@
+// Package stable simulates the stable database: the disk-resident versioned
+// object store beneath the cache manager.
+//
+// The store models exactly what the paper's arguments depend on:
+//
+//   - per-object values with their state identifiers (vSI, the pageLSN
+//     analogue stored with each object);
+//   - multi-object batch writes under the atomicity mechanisms Section 4
+//     compares — shadowing (System R style: write copies, then one atomic
+//     pointer swing) and flush transactions (log the values, commit, then
+//     update in place) — plus the unsafe in-place mode that demonstrates why
+//     a mechanism is needed at all;
+//   - I/O and byte accounting (object writes, pointer swings, flush-
+//     transaction log traffic) that experiments E4/E5 report;
+//   - crash injection in the middle of a batch, leaving old state (shadow),
+//     recoverable state (committed flush transaction), or torn state
+//     (unsafe), matching each mechanism's real behaviour.
+//
+// The store itself survives Crash; it is the cache and log tail that a crash
+// destroys.  Failure injection here models crashes *during* a flush.
+package stable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"logicallog/internal/op"
+)
+
+// BatchMode selects the multi-object atomicity mechanism for a batch write.
+type BatchMode uint8
+
+const (
+	// ModeSingle writes exactly one object in place; single-object writes
+	// are atomic in the disk model (as a page write is).
+	ModeSingle BatchMode = iota
+	// ModeShadow writes all objects to shadow locations and then installs
+	// them with one atomic pointer swing (System R [3]).  A crash before
+	// the swing leaves the old state intact.
+	ModeShadow
+	// ModeFlushTxn wraps the batch in a flush transaction: the values are
+	// written to the flush-transaction log, a commit record is forced, and
+	// the objects are then updated in place.  A crash after commit is
+	// repaired by RecoverPending; before commit the old state survives.
+	ModeFlushTxn
+	// ModeUnsafe writes the objects in place sequentially with no
+	// atomicity mechanism.  A crash mid-batch leaves a torn multi-object
+	// state — the failure the write-graph discipline exists to prevent.
+	ModeUnsafe
+)
+
+func (m BatchMode) String() string {
+	switch m {
+	case ModeSingle:
+		return "single"
+	case ModeShadow:
+		return "shadow"
+	case ModeFlushTxn:
+		return "flushtxn"
+	case ModeUnsafe:
+		return "unsafe"
+	}
+	return fmt.Sprintf("BatchMode(%d)", uint8(m))
+}
+
+// Entry is one object write (or delete) in a batch.
+type Entry struct {
+	ID op.ObjectID
+	// Val is the new value; ignored when Delete is set.
+	Val []byte
+	// VSI is the state identifier stored with the object (the lSI of the
+	// last installed operation that wrote it).
+	VSI op.SI
+	// Delete terminates the object.
+	Delete bool
+}
+
+// Versioned is a stored object value with its state identifier.
+type Versioned struct {
+	Val []byte
+	VSI op.SI
+}
+
+// IOStats counts simulated I/O.  All byte counts are value bytes (the
+// simulator has no sector geometry).
+type IOStats struct {
+	// ObjectReads counts object fetches.
+	ObjectReads int64
+	// ObjectWrites counts in-place or shadow object writes (each entry of
+	// a batch counts once; a flush transaction's in-place phase counts
+	// again because the mechanism really writes the data twice).
+	ObjectWrites int64
+	// ObjectWriteBytes totals bytes across ObjectWrites.
+	ObjectWriteBytes int64
+	// PointerSwings counts shadow-mechanism atomic installs.
+	PointerSwings int64
+	// FlushTxnLogWrites counts flush-transaction log appends (one per
+	// value plus one commit per batch).
+	FlushTxnLogWrites int64
+	// FlushTxnLogBytes totals flush-transaction log bytes.
+	FlushTxnLogBytes int64
+	// Batches counts batch operations by mode.
+	Batches map[BatchMode]int64
+}
+
+func newIOStats() IOStats { return IOStats{Batches: make(map[BatchMode]int64)} }
+
+func (s IOStats) clone() IOStats {
+	c := s
+	c.Batches = make(map[BatchMode]int64, len(s.Batches))
+	for k, v := range s.Batches {
+		c.Batches[k] = v
+	}
+	return c
+}
+
+// ErrCrashed is returned when injected failure interrupts a batch.
+var ErrCrashed = errors.New("stable: injected crash during batch write")
+
+// ErrNotFound is returned by Read for absent objects.
+var ErrNotFound = errors.New("stable: object not found")
+
+// Store is the simulated stable database.  Safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	objects map[op.ObjectID]Versioned
+	stats   IOStats
+
+	// failAfter, when >= 0, injects a crash after that many object writes
+	// within the next batch.
+	failAfter int
+
+	// pending is a committed-but-unapplied flush transaction, repaired by
+	// RecoverPending (a real system replays it from the log at restart).
+	pending []Entry
+}
+
+// NewStore returns an empty stable store.
+func NewStore() *Store {
+	return &Store{
+		objects:   make(map[op.ObjectID]Versioned),
+		stats:     newIOStats(),
+		failAfter: -1,
+	}
+}
+
+// Read fetches an object.  The returned value aliases nothing.
+func (s *Store) Read(x op.ObjectID) (Versioned, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.objects[x]
+	if !ok {
+		return Versioned{}, fmt.Errorf("%w: %q", ErrNotFound, x)
+	}
+	s.stats.ObjectReads++
+	return Versioned{Val: append([]byte(nil), v.Val...), VSI: v.VSI}, nil
+}
+
+// Contains reports whether x exists without counting an I/O.
+func (s *Store) Contains(x op.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[x]
+	return ok
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// IDs returns all object ids in ascending order (no I/O accounting; this is
+// a catalog operation).
+func (s *Store) IDs() []op.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]op.ObjectID, 0, len(s.objects))
+	for x := range s.objects {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FailAfterWrites arms crash injection: the next WriteBatch crashes after n
+// successful object writes (n may be 0 to crash immediately).  The injection
+// disarms after firing.
+func (s *Store) FailAfterWrites(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAfter = n
+}
+
+// WriteBatch writes entries under the given atomicity mode.
+//
+// ModeSingle requires exactly one entry.  Under injected failure the store
+// is left in the state the real mechanism would leave: unchanged (shadow
+// before swing, flush transaction before commit), torn (unsafe), or fully
+// old with a pending repair (flush transaction after commit — see
+// RecoverPending).
+func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(entries) == 0 {
+		return nil
+	}
+	if mode == ModeSingle && len(entries) != 1 {
+		return fmt.Errorf("stable: ModeSingle batch has %d entries", len(entries))
+	}
+	s.stats.Batches[mode]++
+	switch mode {
+	case ModeSingle:
+		if s.consumeFailure(0) {
+			return ErrCrashed
+		}
+		s.applyEntry(entries[0])
+		return nil
+
+	case ModeUnsafe:
+		for i, e := range entries {
+			if s.consumeFailure(i) {
+				return ErrCrashed // torn: first i entries applied
+			}
+			s.applyEntry(e)
+		}
+		return nil
+
+	case ModeShadow:
+		// Phase 1: write shadow copies (costed as object writes).
+		for i, e := range entries {
+			if s.consumeFailure(i) {
+				return ErrCrashed // old state intact: swing never happened
+			}
+			s.stats.ObjectWrites++
+			if !e.Delete {
+				s.stats.ObjectWriteBytes += int64(len(e.Val))
+			}
+		}
+		// Phase 2: atomic pointer swing installs every entry at once.
+		if s.consumeFailure(len(entries)) {
+			return ErrCrashed
+		}
+		s.stats.PointerSwings++
+		for _, e := range entries {
+			s.installEntry(e)
+		}
+		return nil
+
+	case ModeFlushTxn:
+		// Phase 1: log each value to the flush-transaction log.
+		for i, e := range entries {
+			if s.consumeFailure(i) {
+				return ErrCrashed // before commit: old state intact
+			}
+			s.stats.FlushTxnLogWrites++
+			if !e.Delete {
+				s.stats.FlushTxnLogBytes += int64(len(e.Val))
+			}
+		}
+		// Commit record (forced).
+		s.stats.FlushTxnLogWrites++
+		s.pending = cloneEntries(entries)
+		// Phase 2: in-place writes; a crash here leaves pending set, and
+		// RecoverPending finishes the job (idempotently).
+		for i, e := range entries {
+			if s.consumeFailure(len(entries) + i) {
+				return ErrCrashed
+			}
+			s.applyEntry(e)
+		}
+		s.pending = nil
+		return nil
+	}
+	return fmt.Errorf("stable: unknown batch mode %v", mode)
+}
+
+// consumeFailure fires the injected crash if armed for this write index.
+func (s *Store) consumeFailure(idx int) bool {
+	if s.failAfter >= 0 && idx >= s.failAfter {
+		s.failAfter = -1
+		return true
+	}
+	return false
+}
+
+// applyEntry performs and costs one in-place object write.
+func (s *Store) applyEntry(e Entry) {
+	s.stats.ObjectWrites++
+	if !e.Delete {
+		s.stats.ObjectWriteBytes += int64(len(e.Val))
+	}
+	s.installEntry(e)
+}
+
+// installEntry mutates state without I/O accounting (shadow swing phase).
+func (s *Store) installEntry(e Entry) {
+	if e.Delete {
+		delete(s.objects, e.ID)
+		return
+	}
+	s.objects[e.ID] = Versioned{Val: append([]byte(nil), e.Val...), VSI: e.VSI}
+}
+
+// HasPending reports whether a committed flush transaction awaits repair.
+func (s *Store) HasPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending != nil
+}
+
+// RecoverPending applies a committed-but-interrupted flush transaction, as
+// restart processing would replay it from the flush-transaction log.  It is
+// idempotent and returns the number of entries applied.
+func (s *Store) RecoverPending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		return 0
+	}
+	n := len(s.pending)
+	for _, e := range s.pending {
+		s.applyEntry(e)
+	}
+	s.pending = nil
+	return n
+}
+
+// Stats returns a snapshot of the I/O statistics.
+func (s *Store) Stats() IOStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.clone()
+}
+
+// ResetStats zeroes the I/O statistics.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = newIOStats()
+}
+
+// Snapshot returns a deep copy of the stored state (test oracle use).
+func (s *Store) Snapshot() map[op.ObjectID]Versioned {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[op.ObjectID]Versioned, len(s.objects))
+	for x, v := range s.objects {
+		out[x] = Versioned{Val: append([]byte(nil), v.Val...), VSI: v.VSI}
+	}
+	return out
+}
+
+// Restore replaces the stored state with a snapshot (media-recovery /
+// backup support and test use).
+func (s *Store) Restore(snap map[op.ObjectID]Versioned) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects = make(map[op.ObjectID]Versioned, len(snap))
+	for x, v := range snap {
+		s.objects[x] = Versioned{Val: append([]byte(nil), v.Val...), VSI: v.VSI}
+	}
+	s.pending = nil
+}
+
+func cloneEntries(entries []Entry) []Entry {
+	out := make([]Entry, len(entries))
+	for i, e := range entries {
+		out[i] = Entry{ID: e.ID, VSI: e.VSI, Delete: e.Delete, Val: append([]byte(nil), e.Val...)}
+	}
+	return out
+}

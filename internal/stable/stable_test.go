@@ -1,0 +1,241 @@
+package stable
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestModeString(t *testing.T) {
+	if ModeSingle.String() != "single" || ModeShadow.String() != "shadow" ||
+		ModeFlushTxn.String() != "flushtxn" || ModeUnsafe.String() != "unsafe" ||
+		BatchMode(9).String() == "" {
+		t.Error("BatchMode.String wrong")
+	}
+}
+
+func TestReadWriteSingle(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Read("X"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Read missing = %v", err)
+	}
+	if err := s.WriteBatch([]Entry{{ID: "X", Val: []byte("v1"), VSI: 3}}, ModeSingle); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read("X")
+	if err != nil || string(v.Val) != "v1" || v.VSI != 3 {
+		t.Errorf("Read = %+v, %v", v, err)
+	}
+	// Returned value must not alias storage.
+	v.Val[0] = 'z'
+	v2, _ := s.Read("X")
+	if string(v2.Val) != "v1" {
+		t.Error("Read aliased storage")
+	}
+	if !s.Contains("X") || s.Contains("Y") || s.Len() != 1 {
+		t.Error("Contains/Len wrong")
+	}
+	if err := s.WriteBatch([]Entry{{ID: "A"}, {ID: "B"}}, ModeSingle); err == nil {
+		t.Error("ModeSingle must reject multi-entry batches")
+	}
+	if err := s.WriteBatch(nil, ModeShadow); err != nil {
+		t.Errorf("empty batch = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore()
+	s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle)
+	s.WriteBatch([]Entry{{ID: "X", Delete: true}}, ModeSingle)
+	if s.Contains("X") {
+		t.Error("delete failed")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	s := NewStore()
+	s.WriteBatch([]Entry{{ID: "b"}}, ModeSingle)
+	s.WriteBatch([]Entry{{ID: "a"}}, ModeSingle)
+	ids := s.IDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestShadowAtomicity(t *testing.T) {
+	s := NewStore()
+	s.WriteBatch([]Entry{{ID: "X", Val: []byte("old"), VSI: 1}}, ModeSingle)
+	s.WriteBatch([]Entry{{ID: "Y", Val: []byte("old"), VSI: 1}}, ModeSingle)
+	s.ResetStats()
+
+	// Crash during shadow phase: old state fully intact.
+	s.FailAfterWrites(1)
+	err := s.WriteBatch([]Entry{
+		{ID: "X", Val: []byte("new"), VSI: 5},
+		{ID: "Y", Val: []byte("new"), VSI: 5},
+	}, ModeShadow)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	x, _ := s.Read("X")
+	y, _ := s.Read("Y")
+	if string(x.Val) != "old" || string(y.Val) != "old" {
+		t.Error("shadow crash must leave old state intact")
+	}
+
+	// Successful shadow batch installs everything with one pointer swing.
+	if err := s.WriteBatch([]Entry{
+		{ID: "X", Val: []byte("new"), VSI: 5},
+		{ID: "Y", Val: []byte("new"), VSI: 5},
+	}, ModeShadow); err != nil {
+		t.Fatal(err)
+	}
+	x, _ = s.Read("X")
+	y, _ = s.Read("Y")
+	if string(x.Val) != "new" || string(y.Val) != "new" || x.VSI != 5 {
+		t.Error("shadow install failed")
+	}
+	st := s.Stats()
+	if st.PointerSwings != 1 {
+		t.Errorf("PointerSwings = %d", st.PointerSwings)
+	}
+	if st.Batches[ModeShadow] != 2 {
+		t.Errorf("Batches[shadow] = %d", st.Batches[ModeShadow])
+	}
+}
+
+func TestFlushTxnCommitRepair(t *testing.T) {
+	s := NewStore()
+	s.WriteBatch([]Entry{{ID: "X", Val: []byte("old")}}, ModeSingle)
+	s.WriteBatch([]Entry{{ID: "Y", Val: []byte("old")}}, ModeSingle)
+
+	// Crash before commit (during value logging): old state, no pending.
+	s.FailAfterWrites(1)
+	err := s.WriteBatch([]Entry{
+		{ID: "X", Val: []byte("new")},
+		{ID: "Y", Val: []byte("new")},
+	}, ModeFlushTxn)
+	if !errors.Is(err, ErrCrashed) || s.HasPending() {
+		t.Fatalf("pre-commit crash: err=%v pending=%v", err, s.HasPending())
+	}
+	x, _ := s.Read("X")
+	if string(x.Val) != "old" {
+		t.Error("pre-commit crash must preserve old state")
+	}
+
+	// Crash after commit (during in-place phase): pending repair completes it.
+	s.FailAfterWrites(3) // 2 log writes pass, crash on 2nd in-place write (idx 3)
+	err = s.WriteBatch([]Entry{
+		{ID: "X", Val: []byte("new")},
+		{ID: "Y", Val: []byte("new")},
+	}, ModeFlushTxn)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	if !s.HasPending() {
+		t.Fatal("post-commit crash must leave a pending flush transaction")
+	}
+	if n := s.RecoverPending(); n != 2 {
+		t.Errorf("RecoverPending applied %d", n)
+	}
+	x, _ = s.Read("X")
+	y, _ := s.Read("Y")
+	if string(x.Val) != "new" || string(y.Val) != "new" {
+		t.Error("pending repair incomplete")
+	}
+	if s.HasPending() || s.RecoverPending() != 0 {
+		t.Error("RecoverPending not idempotent")
+	}
+}
+
+func TestFlushTxnCosts(t *testing.T) {
+	// Section 4: "each object in the atomic flush set needs to be written
+	// twice": once to the flush-transaction log and once in place.
+	s := NewStore()
+	s.ResetStats()
+	entries := []Entry{
+		{ID: "A", Val: make([]byte, 100)},
+		{ID: "B", Val: make([]byte, 100)},
+	}
+	if err := s.WriteBatch(entries, ModeFlushTxn); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FlushTxnLogWrites != 3 { // 2 values + 1 commit
+		t.Errorf("FlushTxnLogWrites = %d, want 3", st.FlushTxnLogWrites)
+	}
+	if st.FlushTxnLogBytes != 200 {
+		t.Errorf("FlushTxnLogBytes = %d", st.FlushTxnLogBytes)
+	}
+	if st.ObjectWrites != 2 || st.ObjectWriteBytes != 200 {
+		t.Errorf("ObjectWrites = %d (%d bytes)", st.ObjectWrites, st.ObjectWriteBytes)
+	}
+}
+
+func TestUnsafeTornWrite(t *testing.T) {
+	s := NewStore()
+	s.WriteBatch([]Entry{{ID: "X", Val: []byte("old")}}, ModeSingle)
+	s.WriteBatch([]Entry{{ID: "Y", Val: []byte("old")}}, ModeSingle)
+	s.FailAfterWrites(1)
+	err := s.WriteBatch([]Entry{
+		{ID: "X", Val: []byte("new")},
+		{ID: "Y", Val: []byte("new")},
+	}, ModeUnsafe)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	x, _ := s.Read("X")
+	y, _ := s.Read("Y")
+	if string(x.Val) != "new" || string(y.Val) != "old" {
+		t.Errorf("unsafe crash must tear: X=%q Y=%q", x.Val, y.Val)
+	}
+}
+
+func TestFailAfterZero(t *testing.T) {
+	s := NewStore()
+	s.FailAfterWrites(0)
+	err := s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if s.Contains("X") {
+		t.Error("crash-at-zero must write nothing")
+	}
+	// Injection disarms after firing.
+	if err := s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle); err != nil {
+		t.Errorf("second write = %v", err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := NewStore()
+	s.WriteBatch([]Entry{{ID: "X", Val: []byte("v1"), VSI: 7}}, ModeSingle)
+	snap := s.Snapshot()
+	s.WriteBatch([]Entry{{ID: "X", Val: []byte("v2"), VSI: 9}}, ModeSingle)
+	s.WriteBatch([]Entry{{ID: "Y", Val: []byte("y")}}, ModeSingle)
+	s.Restore(snap)
+	v, err := s.Read("X")
+	if err != nil || string(v.Val) != "v1" || v.VSI != 7 {
+		t.Errorf("restored X = %+v, %v", v, err)
+	}
+	if s.Contains("Y") {
+		t.Error("restore kept later object")
+	}
+	// Snapshot is deep: mutating it doesn't affect the store.
+	snap["X"].Val[0] = 'z'
+	v, _ = s.Read("X")
+	if string(v.Val) != "v1" {
+		t.Error("snapshot aliased storage")
+	}
+}
+
+func TestReadCounting(t *testing.T) {
+	s := NewStore()
+	s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle)
+	s.ResetStats()
+	s.Read("X")
+	s.Read("X")
+	s.Read("missing")
+	if got := s.Stats().ObjectReads; got != 2 {
+		t.Errorf("ObjectReads = %d, want 2 (misses don't count)", got)
+	}
+}

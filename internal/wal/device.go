@@ -1,0 +1,156 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Device is the durable byte store beneath a Log.  Append is atomic and
+// durable in the simulator's crash model; the Log's volatile tail models the
+// unforced buffer that a crash loses.
+type Device interface {
+	// Append durably appends p.
+	Append(p []byte) error
+	// ReadAll returns the device's full contents.
+	ReadAll() ([]byte, error)
+	// Size returns the current length in bytes.
+	Size() (int64, error)
+	// Rewrite atomically replaces the device contents (used by log
+	// truncation).
+	Rewrite(p []byte) error
+	// Close releases resources.
+	Close() error
+}
+
+// MemDevice is an in-memory Device, the default for simulations and tests.
+// It can inject a torn tail: CorruptTail flips bytes at the end, as a crash
+// mid-sector-write would.
+type MemDevice struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemDevice returns an empty in-memory device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// Append implements Device.
+func (m *MemDevice) Append(p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data = append(m.data, p...)
+	return nil
+}
+
+// ReadAll implements Device.
+func (m *MemDevice) ReadAll() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.data...), nil
+}
+
+// Size implements Device.
+func (m *MemDevice) Size() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.data)), nil
+}
+
+// Rewrite implements Device.
+func (m *MemDevice) Rewrite(p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data = append([]byte(nil), p...)
+	return nil
+}
+
+// Close implements Device.
+func (m *MemDevice) Close() error { return nil }
+
+// CorruptTail simulates a torn sector: it truncates n bytes off the end and
+// appends n/2 garbage bytes, as an interrupted physical write would leave.
+func (m *MemDevice) CorruptTail(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > len(m.data) {
+		n = len(m.data)
+	}
+	m.data = m.data[:len(m.data)-n]
+	for i := 0; i < n/2; i++ {
+		m.data = append(m.data, 0xEE)
+	}
+}
+
+// FileDevice is a file-backed Device so logs can be inspected offline with
+// cmd/llinspect and survive real process restarts.
+type FileDevice struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenFileDevice opens (creating if needed) a file-backed device.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &FileDevice{path: path, f: f}, nil
+}
+
+// Append implements Device.
+func (d *FileDevice) Append(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.f.Write(p); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
+// ReadAll implements Device.
+func (d *FileDevice) ReadAll() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return os.ReadFile(d.path)
+}
+
+// Size implements Device.
+func (d *FileDevice) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Rewrite implements Device.
+func (d *FileDevice) Rewrite(p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp := d.path + ".tmp"
+	if err := os.WriteFile(tmp, p, 0o644); err != nil {
+		return err
+	}
+	if err := d.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, d.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(d.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	d.f = f
+	return nil
+}
+
+// Close implements Device.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

@@ -1,0 +1,352 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"logicallog/internal/op"
+)
+
+// Log is the write-ahead log.  Appended records first land in a volatile
+// tail buffer; Force (or ForceThrough) makes them durable on the Device.
+// A crash loses the volatile tail.  LSNs are assigned densely starting at 1
+// and double as state identifiers (SIs) throughout the system.
+//
+// Log is safe for concurrent use.
+type Log struct {
+	mu        sync.Mutex
+	dev       Device
+	nextLSN   op.SI
+	stableLSN op.SI
+	firstLSN  op.SI // first LSN still on the device (post truncation)
+	tail      []pending
+
+	stats Stats
+}
+
+type pending struct {
+	lsn   op.SI
+	frame []byte
+}
+
+// Stats aggregates the logging-cost accounting the experiments report.
+type Stats struct {
+	// Records counts appended records by type.
+	Records map[RecordType]int64
+	// PayloadBytes counts payload bytes by record type (framing excluded).
+	PayloadBytes map[RecordType]int64
+	// OpPayloadBytes counts operation payload bytes by operation kind —
+	// this is the logical-vs-physical logging cost (Figure 1 / E1).
+	OpPayloadBytes map[op.Kind]int64
+	// ValueBytes counts bytes of logged data values (the part logical
+	// operations avoid).
+	ValueBytes int64
+	// BytesAppended is the total framed bytes appended.
+	BytesAppended int64
+	// Forces counts Force calls that actually wrote to the device.
+	Forces int64
+}
+
+func newStats() Stats {
+	return Stats{
+		Records:        make(map[RecordType]int64),
+		PayloadBytes:   make(map[RecordType]int64),
+		OpPayloadBytes: make(map[op.Kind]int64),
+	}
+}
+
+func (s Stats) clone() Stats {
+	c := newStats()
+	for k, v := range s.Records {
+		c.Records[k] = v
+	}
+	for k, v := range s.PayloadBytes {
+		c.PayloadBytes[k] = v
+	}
+	for k, v := range s.OpPayloadBytes {
+		c.OpPayloadBytes[k] = v
+	}
+	c.ValueBytes = s.ValueBytes
+	c.BytesAppended = s.BytesAppended
+	c.Forces = s.Forces
+	return c
+}
+
+// TotalOpPayloadBytes sums operation payload bytes across kinds.
+func (s Stats) TotalOpPayloadBytes() int64 {
+	var t int64
+	for _, v := range s.OpPayloadBytes {
+		t += v
+	}
+	return t
+}
+
+// New creates a Log over dev.  If dev already holds records (restart after
+// crash), the log resumes LSN assignment after the highest durable record.
+func New(dev Device) (*Log, error) {
+	l := &Log{dev: dev, nextLSN: 1, firstLSN: 1, stats: newStats()}
+	// Recover LSN horizon from existing contents.
+	data, err := dev.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	first := true
+	for len(data) > 0 {
+		payload, n, err := Unframe(data)
+		if err != nil {
+			break // torn tail: ignore, as recovery would
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			break
+		}
+		if first {
+			l.firstLSN = rec.LSN
+			first = false
+		}
+		l.stableLSN = rec.LSN
+		l.nextLSN = rec.LSN + 1
+		data = data[n:]
+	}
+	return l, nil
+}
+
+// Append assigns the next LSN to rec, encodes it into the volatile tail, and
+// returns the LSN.  For operation records the operation's LSN field is set,
+// binding the operation's lSI.  Append does NOT force; the WAL protocol's
+// forcing happens before installation (see ForceThrough).
+func (l *Log) Append(rec *Record) (op.SI, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.LSN = l.nextLSN
+	if rec.Op != nil {
+		rec.Op.LSN = rec.LSN
+	}
+	payload, err := EncodeRecord(rec)
+	if err != nil {
+		rec.LSN = 0
+		if rec.Op != nil {
+			rec.Op.LSN = 0
+		}
+		return 0, err
+	}
+	l.nextLSN++
+	frame := Frame(payload)
+	l.tail = append(l.tail, pending{lsn: rec.LSN, frame: frame})
+
+	l.stats.Records[rec.Type]++
+	l.stats.PayloadBytes[rec.Type] += int64(len(payload))
+	l.stats.BytesAppended += int64(len(frame))
+	if rec.Type == RecOperation {
+		l.stats.OpPayloadBytes[rec.Op.Kind] += int64(len(payload))
+		for _, v := range rec.Op.Values {
+			l.stats.ValueBytes += int64(len(v))
+		}
+	}
+	return rec.LSN, nil
+}
+
+// AppendOp is shorthand for Append(NewOpRecord(o)).
+func (l *Log) AppendOp(o *op.Operation) (op.SI, error) { return l.Append(NewOpRecord(o)) }
+
+// Force makes every appended record durable.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forceLocked(l.nextLSN - 1)
+}
+
+// ForceThrough makes records up to and including lsn durable (WAL protocol:
+// called before installing an operation's effects).
+func (l *Log) ForceThrough(lsn op.SI) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forceLocked(lsn)
+}
+
+func (l *Log) forceLocked(lsn op.SI) error {
+	if lsn <= l.stableLSN || len(l.tail) == 0 {
+		return nil
+	}
+	var buf []byte
+	n := 0
+	for _, p := range l.tail {
+		if p.lsn > lsn {
+			break
+		}
+		buf = append(buf, p.frame...)
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	if err := l.dev.Append(buf); err != nil {
+		return fmt.Errorf("wal: force: %w", err)
+	}
+	l.stableLSN = l.tail[n-1].lsn
+	l.tail = l.tail[n:]
+	l.stats.Forces++
+	return nil
+}
+
+// StableLSN returns the highest durable LSN.
+func (l *Log) StableLSN() op.SI {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stableLSN
+}
+
+// NextLSN returns the LSN the next Append will assign.
+func (l *Log) NextLSN() op.SI {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// FirstLSN returns the earliest LSN still on the device.
+func (l *Log) FirstLSN() op.SI {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstLSN
+}
+
+// Crash drops the volatile tail, simulating a crash; it returns the number
+// of records lost.  The device (stable log) is untouched.
+func (l *Log) Crash() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.tail)
+	l.tail = nil
+	// LSN assignment continues monotonically after recovery; recovery
+	// itself may log fresh records.
+	return n
+}
+
+// Truncate discards all durable records with LSN < before.  Only installed
+// operations may be truncated away; the caller (checkpointing) guarantees
+// that.  Truncation rewrites the device.
+func (l *Log) Truncate(before op.SI) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := l.dev.ReadAll()
+	if err != nil {
+		return err
+	}
+	var keep []byte
+	newFirst := op.SI(0)
+	for len(data) > 0 {
+		payload, n, err := Unframe(data)
+		if err != nil {
+			break
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			break
+		}
+		if rec.LSN >= before {
+			if newFirst == 0 {
+				newFirst = rec.LSN
+			}
+			keep = append(keep, data[:n]...)
+		}
+		data = data[n:]
+	}
+	if err := l.dev.Rewrite(keep); err != nil {
+		return err
+	}
+	if newFirst == 0 {
+		newFirst = before
+	}
+	l.firstLSN = newFirst
+	return nil
+}
+
+// Scanner iterates durable records in LSN order.
+type Scanner struct {
+	data []byte
+	from op.SI
+}
+
+// Scan returns a Scanner positioned at the first durable record with
+// LSN >= from.  The scanner reads a snapshot; records appended afterwards
+// are not visible.
+func (l *Log) Scan(from op.SI) (*Scanner, error) {
+	data, err := l.dev.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{data: data, from: from}, nil
+}
+
+// Next returns the next record, or io.EOF at end of log (including at a
+// torn tail, which terminates the log exactly as after a crash).
+func (s *Scanner) Next() (*Record, error) {
+	for len(s.data) > 0 {
+		payload, n, err := Unframe(s.data)
+		if err != nil {
+			return nil, io.EOF
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return nil, io.EOF
+		}
+		s.data = s.data[n:]
+		if rec.LSN >= s.from {
+			return rec, nil
+		}
+	}
+	return nil, io.EOF
+}
+
+// All drains the scanner into a slice.
+func (s *Scanner) All() ([]*Record, error) {
+	var out []*Record
+	for {
+		rec, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// LastCheckpoint scans the durable log and returns the most recent
+// checkpoint record, or nil if none exists.
+func (l *Log) LastCheckpoint() (*Record, error) {
+	sc, err := l.Scan(0)
+	if err != nil {
+		return nil, err
+	}
+	var last *Record
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			return last, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type == RecCheckpoint {
+			last = rec
+		}
+	}
+}
+
+// Stats returns a snapshot of the logging statistics.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats.clone()
+}
+
+// ResetStats zeroes the statistics (benchmarks use this between phases).
+func (l *Log) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats = newStats()
+}

@@ -1,0 +1,180 @@
+// Package workload generates seeded, parameterized operation streams for
+// the experiments: mixes of physical, physiological, and logical (A-form and
+// B-form) operations over a configurable object population, with optional
+// deletes modelling transient objects (the Section 5 optimization target).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"logicallog/internal/op"
+)
+
+// Spec parameterizes a generated stream.
+type Spec struct {
+	// Seed drives the generator deterministically.
+	Seed int64
+	// Objects is the population size.
+	Objects int
+	// ObjectSize is the value size for creates and physical writes.
+	ObjectSize int
+	// Steps is the number of operations to generate (after the initial
+	// creates).
+	Steps int
+	// Mix percentages (must sum to <= 100; the remainder is physical
+	// blind writes).
+	LogicalAPct int // A-form: y <- f(x,y)
+	LogicalBPct int // B-form: x <- g(y)  (blind logical write)
+	PhysioPct   int // single-object self-transform
+	DeletePct   int // delete + recreate later
+}
+
+// DefaultSpec returns a balanced mix.
+func DefaultSpec(seed int64) Spec {
+	return Spec{
+		Seed:        seed,
+		Objects:     8,
+		ObjectSize:  128,
+		Steps:       200,
+		LogicalAPct: 30,
+		LogicalBPct: 30,
+		PhysioPct:   20,
+		DeletePct:   5,
+	}
+}
+
+// Validate checks the mix.
+func (s Spec) Validate() error {
+	if s.Objects < 2 {
+		return fmt.Errorf("workload: need >= 2 objects")
+	}
+	if s.LogicalAPct+s.LogicalBPct+s.PhysioPct+s.DeletePct > 100 {
+		return fmt.Errorf("workload: mix percentages exceed 100")
+	}
+	return nil
+}
+
+// Generator produces an operation stream.  Operations arrive un-logged;
+// callers execute them through an engine (which assigns LSNs) or feed them
+// to graph constructions with synthetic LSNs.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+	ids  []op.ObjectID
+	live map[op.ObjectID]bool
+}
+
+// NewGenerator builds a generator; call Bootstrap for the initial creates.
+func NewGenerator(spec Spec) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		live: make(map[op.ObjectID]bool),
+	}
+	for i := 0; i < spec.Objects; i++ {
+		g.ids = append(g.ids, op.ObjectID(fmt.Sprintf("w%03d", i)))
+	}
+	return g, nil
+}
+
+// Bootstrap returns the creates that bring every object to life.
+func (g *Generator) Bootstrap() []*op.Operation {
+	out := make([]*op.Operation, 0, len(g.ids))
+	for _, id := range g.ids {
+		v := make([]byte, g.spec.ObjectSize)
+		g.rng.Read(v)
+		out = append(out, op.NewCreate(id, v))
+		g.live[id] = true
+	}
+	return out
+}
+
+// Next returns the next operation in the stream.
+func (g *Generator) Next() *op.Operation {
+	x := g.pickLive()
+	y := g.pickLive()
+	roll := g.rng.Intn(100)
+	switch {
+	case roll < g.spec.LogicalAPct:
+		if x == y {
+			return g.physio(x)
+		}
+		// A-form: y <- y XOR x (reads both, writes y).
+		return op.NewLogical(op.FuncXor, op.EncodeParams([]byte(y), []byte(x)),
+			[]op.ObjectID{x, y}, []op.ObjectID{y})
+	case roll < g.spec.LogicalAPct+g.spec.LogicalBPct:
+		if x == y {
+			return g.physio(x)
+		}
+		// B-form: x <- copy(y) (blind logical write).
+		return op.NewLogical(op.FuncCopy, []byte(x), []op.ObjectID{y}, []op.ObjectID{x})
+	case roll < g.spec.LogicalAPct+g.spec.LogicalBPct+g.spec.PhysioPct:
+		return g.physio(x)
+	case roll < g.spec.LogicalAPct+g.spec.LogicalBPct+g.spec.PhysioPct+g.spec.DeletePct:
+		if g.liveCount() <= 2 {
+			return g.physio(x)
+		}
+		g.live[x] = false
+		return op.NewDelete(x)
+	default:
+		// Physical blind write; also resurrects dead objects.
+		id := g.pickAny()
+		v := make([]byte, g.spec.ObjectSize)
+		g.rng.Read(v)
+		g.live[id] = true
+		return op.NewPhysicalWrite(id, v)
+	}
+}
+
+// Stream generates bootstrap + Steps operations.
+func (g *Generator) Stream() []*op.Operation {
+	out := g.Bootstrap()
+	for i := 0; i < g.spec.Steps; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+func (g *Generator) physio(x op.ObjectID) *op.Operation {
+	return op.NewPhysioWrite(x, op.FuncAppend, []byte{byte(g.rng.Intn(256))})
+}
+
+func (g *Generator) pickLive() op.ObjectID {
+	for tries := 0; tries < 64; tries++ {
+		id := g.ids[g.rng.Intn(len(g.ids))]
+		if g.live[id] {
+			return id
+		}
+	}
+	// Degenerate population: resurrect deterministically.
+	id := g.ids[0]
+	g.live[id] = true
+	return id
+}
+
+func (g *Generator) pickAny() op.ObjectID {
+	return g.ids[g.rng.Intn(len(g.ids))]
+}
+
+func (g *Generator) liveCount() int {
+	n := 0
+	for _, l := range g.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// WithLSNs assigns synthetic ascending LSNs starting at 1 (for feeding a
+// stream straight into graph constructions without an engine).
+func WithLSNs(ops []*op.Operation) []*op.Operation {
+	for i, o := range ops {
+		o.LSN = op.SI(i + 1)
+	}
+	return ops
+}

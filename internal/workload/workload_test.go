@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"logicallog/internal/core"
+	"logicallog/internal/op"
+)
+
+func TestValidate(t *testing.T) {
+	bad := DefaultSpec(1)
+	bad.LogicalAPct = 90
+	bad.LogicalBPct = 90
+	if err := bad.Validate(); err == nil {
+		t.Error("over-100 mix accepted")
+	}
+	tiny := DefaultSpec(1)
+	tiny.Objects = 1
+	if err := tiny.Validate(); err == nil {
+		t.Error("1-object population accepted")
+	}
+	if _, err := NewGenerator(bad); err == nil {
+		t.Error("NewGenerator accepted bad spec")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		g, err := NewGenerator(DefaultSpec(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, o := range g.Stream() {
+			out = append(out, o.String())
+		}
+		return out
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Error("generator not deterministic")
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	spec := DefaultSpec(7)
+	g, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := g.Stream()
+	if len(stream) != spec.Objects+spec.Steps {
+		t.Fatalf("stream length = %d", len(stream))
+	}
+	kinds := map[op.Kind]int{}
+	for i, o := range stream {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("op %d invalid: %v", i, err)
+		}
+		kinds[o.Kind]++
+	}
+	if kinds[op.KindCreate] != spec.Objects {
+		t.Errorf("creates = %d", kinds[op.KindCreate])
+	}
+	for _, k := range []op.Kind{op.KindLogical, op.KindPhysioWrite, op.KindPhysicalWrite} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v operations generated", k)
+		}
+	}
+}
+
+func TestStreamExecutable(t *testing.T) {
+	// Every generated stream must execute cleanly against an engine (the
+	// generator's liveness tracking must match engine semantics).
+	for seed := int64(0); seed < 5; seed++ {
+		eng, err := core.New(core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := DefaultSpec(seed)
+		spec.DeletePct = 20
+		spec.LogicalBPct = 20
+		g, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range g.Stream() {
+			if err := eng.Execute(o); err != nil {
+				t.Fatalf("seed %d op %d (%s): %v", seed, i, o, err)
+			}
+		}
+		if err := eng.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWithLSNs(t *testing.T) {
+	ops := []*op.Operation{op.NewCreate("a", nil), op.NewCreate("b", nil)}
+	WithLSNs(ops)
+	if ops[0].LSN != 1 || ops[1].LSN != 2 {
+		t.Errorf("LSNs = %d, %d", ops[0].LSN, ops[1].LSN)
+	}
+}
