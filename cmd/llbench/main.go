@@ -20,7 +20,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	redoWorkers := flag.Int("redo-workers", 0, "parallel redo worker count for recovery-heavy experiments (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	harness.DefaultRedoWorkers = *redoWorkers
 
 	if *list {
 		for _, e := range harness.All() {

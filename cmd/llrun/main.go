@@ -28,10 +28,12 @@ func main() {
 	physio := flag.Bool("physio", false, "use the physiological baseline configuration")
 	classicW := flag.Bool("w", false, "use the classic write graph W instead of rW")
 	vsi := flag.Bool("vsi", false, "use the classic vSI REDO test instead of generalized rSIs")
+	redoWorkers := flag.Int("redo-workers", 0, "parallel redo worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
 	opts.Physiological = *physio
+	opts.RedoWorkers = *redoWorkers
 	if *classicW {
 		opts.Policy = writegraph.PolicyW
 		opts.Strategy = cache.StrategyShadow // identity breakup needs rW

@@ -14,7 +14,9 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
+	"sync"
 
 	"logicallog/internal/graph"
 	"logicallog/internal/op"
@@ -111,16 +113,38 @@ func (e *entry) rsi() op.SI {
 	return e.pending[0]
 }
 
-// Manager is the cache manager.  It is not safe for concurrent use; the
-// engine serializes operations (the paper's concerns are recovery ordering,
-// not latching).
+// tableShards stripes the dirty object table: parallel redo workers fault
+// and apply against disjoint objects, so per-object (striped) locking lets
+// them proceed without contending on one map mutex.  Power of two.
+const tableShards = 32
+
+var tableSeed = maphash.MakeSeed()
+
+type tableShard struct {
+	mu sync.RWMutex
+	m  map[op.ObjectID]*entry
+}
+
+// Manager is the cache manager.
+//
+// Normal operation is engine-serialized (the paper's concerns are recovery
+// ordering, not latching).  The replay path — Get, CurrentVSI, ApplyLogged,
+// TryApplyLogged — is additionally safe for concurrent use by recovery's
+// parallel redo workers under one invariant the redo scheduler guarantees:
+// two operations that conflict (one writes an object the other reads or
+// writes) are never replayed concurrently.  The striped table locks below
+// protect the map structure; entry *contents* need no locks because every
+// entry is only ever mutated by the single chain that owns its object.
 type Manager struct {
-	cfg   Config
-	log   *wal.Log
-	store *stable.Store
-	wg    *writegraph.Graph
-	table map[op.ObjectID]*entry
-	stats Stats
+	cfg    Config
+	log    *wal.Log
+	store  *stable.Store
+	wg     *writegraph.Graph
+	wgMu   sync.Mutex // guards wg.AddOp from concurrent redo workers
+	shards [tableShards]tableShard
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // NewManager builds a cache manager over the given log and stable store.
@@ -128,17 +152,70 @@ func NewManager(cfg Config, log *wal.Log, store *stable.Store) (*Manager, error)
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("cache: Config.Registry is required")
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:   cfg,
 		log:   log,
 		store: store,
 		wg:    writegraph.New(cfg.Policy),
-		table: make(map[op.ObjectID]*entry),
-	}, nil
+	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[op.ObjectID]*entry)
+	}
+	return m, nil
+}
+
+func (m *Manager) shard(x op.ObjectID) *tableShard {
+	return &m.shards[maphash.String(tableSeed, string(x))&(tableShards-1)]
+}
+
+// lookup returns the cached entry for x, if any.
+func (m *Manager) lookup(x op.ObjectID) (*entry, bool) {
+	sh := m.shard(x)
+	sh.mu.RLock()
+	e, ok := sh.m[x]
+	sh.mu.RUnlock()
+	return e, ok
+}
+
+// insert publishes e as x's entry unless one appeared meanwhile (two chains
+// read-faulting the same never-written object), in which case the existing
+// entry wins.
+func (m *Manager) insert(x op.ObjectID, e *entry) *entry {
+	sh := m.shard(x)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.m[x]; ok {
+		return cur
+	}
+	sh.m[x] = e
+	return e
+}
+
+func (m *Manager) remove(x op.ObjectID) {
+	sh := m.shard(x)
+	sh.mu.Lock()
+	delete(sh.m, x)
+	sh.mu.Unlock()
+}
+
+// forEach visits every cached entry (engine-serialized callers only).
+func (m *Manager) forEach(fn func(x op.ObjectID, e *entry)) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for x, e := range sh.m {
+			fn(x, e)
+		}
+		sh.mu.RUnlock()
+	}
 }
 
 // Stats returns a snapshot of the manager's counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.stats
+}
 
 // WriteGraph exposes the manager's write graph for inspection.
 func (m *Manager) WriteGraph() *writegraph.Graph { return m.wg }
@@ -146,11 +223,11 @@ func (m *Manager) WriteGraph() *writegraph.Graph { return m.wg }
 // DirtyCount returns the number of dirty objects.
 func (m *Manager) DirtyCount() int {
 	n := 0
-	for _, e := range m.table {
+	m.forEach(func(_ op.ObjectID, e *entry) {
 		if e.dirty {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -170,7 +247,7 @@ func (m *Manager) Get(x op.ObjectID) ([]byte, error) {
 
 // VSI returns the cached object's state identifier (for tests/inspection).
 func (m *Manager) VSI(x op.ObjectID) (op.SI, bool) {
-	e, ok := m.table[x]
+	e, ok := m.lookup(x)
 	if !ok {
 		return 0, false
 	}
@@ -182,7 +259,7 @@ func (m *Manager) VSI(x op.ObjectID) (op.SI, bool) {
 // store's vSI, else NilSI for an object that does not exist.  This is the
 // vSI the REDO tests of Section 5 compare against lSIs.
 func (m *Manager) CurrentVSI(x op.ObjectID) op.SI {
-	if e, ok := m.table[x]; ok {
+	if e, ok := m.lookup(x); ok {
 		return e.vsi
 	}
 	if v, err := m.store.Read(x); err == nil {
@@ -193,7 +270,7 @@ func (m *Manager) CurrentVSI(x op.ObjectID) op.SI {
 
 // RSI returns the cached object's recovery state identifier, NilSI if clean.
 func (m *Manager) RSI(x op.ObjectID) (op.SI, bool) {
-	e, ok := m.table[x]
+	e, ok := m.lookup(x)
 	if !ok {
 		return 0, false
 	}
@@ -201,7 +278,7 @@ func (m *Manager) RSI(x op.ObjectID) (op.SI, bool) {
 }
 
 func (m *Manager) fault(x op.ObjectID) (*entry, error) {
-	if e, ok := m.table[x]; ok {
+	if e, ok := m.lookup(x); ok {
 		return e, nil
 	}
 	v, err := m.store.Read(x)
@@ -211,9 +288,7 @@ func (m *Manager) fault(x op.ObjectID) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &entry{val: v.Val, exists: true, vsi: v.VSI}
-	m.table[x] = e
-	return e, nil
+	return m.insert(x, &entry{val: v.Val, exists: true, vsi: v.VSI}), nil
 }
 
 // Execute runs operation o during normal execution: it reads o's inputs,
@@ -281,7 +356,7 @@ func (m *Manager) computeWrites(o *op.Operation) (map[op.ObjectID][]byte, error)
 
 func (m *Manager) applyLogged(o *op.Operation, writes map[op.ObjectID][]byte) error {
 	for _, x := range o.WriteSet {
-		e, ok := m.table[x]
+		e, ok := m.lookup(x)
 		if !ok {
 			// A blind write may create the object; fault in the stable
 			// version if present so the vSI baseline is right, otherwise
@@ -291,7 +366,7 @@ func (m *Manager) applyLogged(o *op.Operation, writes map[op.ObjectID][]byte) er
 			} else {
 				e = &entry{}
 			}
-			m.table[x] = e
+			e = m.insert(x, e)
 		}
 		v := writes[x]
 		if o.Kind == op.KindDelete || (v == nil && containsObj(o.Deletes, x)) {
@@ -305,10 +380,15 @@ func (m *Manager) applyLogged(o *op.Operation, writes map[op.ObjectID][]byte) er
 		e.dirty = true
 		e.pending = append(e.pending, o.LSN)
 	}
-	if _, err := m.wg.AddOp(o); err != nil {
+	m.wgMu.Lock()
+	_, err := m.wg.AddOp(o)
+	m.wgMu.Unlock()
+	if err != nil {
 		return err
 	}
+	m.statsMu.Lock()
 	m.stats.OpsExecuted++
+	m.statsMu.Unlock()
 	return nil
 }
 
@@ -425,7 +505,7 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 		}
 	}
 	for _, x := range nv.Notx {
-		if e, ok := m.table[x]; ok && len(e.pending) > 0 {
+		if e, ok := m.lookup(x); ok && len(e.pending) > 0 {
 			if last := e.pending[len(e.pending)-1]; last > maxLSN {
 				maxLSN = last
 			}
@@ -440,7 +520,7 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 	// merged in or removed x from vars), so the cached value is Lastw(n,x).
 	entries := make([]stable.Entry, 0, len(nv.Vars))
 	for _, x := range nv.Vars {
-		e, ok := m.table[x]
+		e, ok := m.lookup(x)
 		if !ok {
 			return nil, fmt.Errorf("cache: flush set object %q not in cache", x)
 		}
@@ -461,7 +541,9 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 		default:
 			mode = stable.ModeShadow // identity strategy shouldn't get here
 		}
+		m.statsMu.Lock()
 		m.stats.MultiObjectFlushes++
+		m.statsMu.Unlock()
 	}
 	if len(entries) > 0 {
 		if err := m.store.WriteBatch(entries, mode); err != nil {
@@ -474,9 +556,11 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.statsMu.Lock()
 	m.stats.Installs++
 	m.stats.ObjectsFlushed += int64(len(view.Vars))
 	m.stats.InstalledNotFlushed += int64(len(view.Notx))
+	m.statsMu.Unlock()
 	if m.cfg.InstallTrace != nil {
 		m.cfg.InstallTrace(view)
 	}
@@ -492,7 +576,7 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 	}
 	var flushed, unflushed []wal.ObjectRSI
 	for _, x := range view.Vars {
-		e := m.table[x]
+		e, _ := m.lookup(x)
 		e.pending = prunePending(e.pending, installed)
 		if len(e.pending) != 0 {
 			return nil, fmt.Errorf("cache: flushed object %q still has uninstalled writes %v", x, e.pending)
@@ -501,11 +585,11 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 		flushed = append(flushed, wal.ObjectRSI{ID: x, RSI: e.rsi()})
 		if !e.exists {
 			// Terminated objects leave the object table entirely.
-			delete(m.table, x)
+			m.remove(x)
 		}
 	}
 	for _, x := range view.Notx {
-		e, ok := m.table[x]
+		e, ok := m.lookup(x)
 		if !ok {
 			continue
 		}
@@ -539,7 +623,7 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 // a delete is equally a blind write, peels the object out of the flush set
 // the same way, and costs a few bytes rather than a value.
 func (m *Manager) identityWrite(x op.ObjectID) error {
-	e, ok := m.table[x]
+	e, ok := m.lookup(x)
 	if !ok {
 		return fmt.Errorf("cache: identity write of missing object %q", x)
 	}
@@ -552,7 +636,9 @@ func (m *Manager) identityWrite(x op.ObjectID) error {
 	if err := m.Execute(o); err != nil {
 		return err
 	}
+	m.statsMu.Lock()
 	m.stats.IdentityWrites++
+	m.statsMu.Unlock()
 	return nil
 }
 
@@ -574,15 +660,17 @@ func (m *Manager) PurgeAll() error {
 // be evicted ("we continue to require that an object be clean before it can
 // be dropped from the cache", Section 4).
 func (m *Manager) EvictClean(x op.ObjectID) error {
-	e, ok := m.table[x]
+	e, ok := m.lookup(x)
 	if !ok {
 		return nil
 	}
 	if e.dirty {
 		return fmt.Errorf("cache: cannot evict dirty object %q (rSI %d)", x, e.rsi())
 	}
-	delete(m.table, x)
+	m.remove(x)
+	m.statsMu.Lock()
 	m.stats.Evictions++
+	m.statsMu.Unlock()
 	return nil
 }
 
@@ -594,11 +682,11 @@ func (m *Manager) EvictClean(x op.ObjectID) error {
 // sorted by id.
 func (m *Manager) DirtyTable() []wal.DirtyEntry {
 	var out []wal.DirtyEntry
-	for x, e := range m.table {
+	m.forEach(func(x op.ObjectID, e *entry) {
 		if e.dirty {
 			out = append(out, wal.DirtyEntry{ID: x, RSI: e.rsi()})
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -614,7 +702,9 @@ func (m *Manager) Checkpoint() (op.SI, error) {
 	if err := m.log.Force(); err != nil {
 		return 0, err
 	}
+	m.statsMu.Lock()
 	m.stats.Checkpoints++
+	m.statsMu.Unlock()
 	return lsn, nil
 }
 
@@ -623,11 +713,11 @@ func (m *Manager) Checkpoint() (op.SI, error) {
 // Every uninstalled operation has an LSN >= this point.
 func (m *Manager) TruncationPoint(checkpointLSN op.SI) op.SI {
 	min := checkpointLSN
-	for _, e := range m.table {
+	m.forEach(func(_ op.ObjectID, e *entry) {
 		if e.dirty && e.rsi() < min {
 			min = e.rsi()
 		}
-	}
+	})
 	return min
 }
 
@@ -646,7 +736,12 @@ func (m *Manager) CheckpointAndTruncate() (op.SI, error) {
 
 // Crash discards all volatile cache-manager state, simulating a crash.
 func (m *Manager) Crash() {
-	m.table = make(map[op.ObjectID]*entry)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[op.ObjectID]*entry)
+		sh.mu.Unlock()
+	}
 	m.wg = writegraph.New(m.cfg.Policy)
 }
 

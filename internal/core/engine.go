@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"logicallog/internal/cache"
 	"logicallog/internal/op"
@@ -41,6 +42,9 @@ type Options struct {
 	// InstallTrace, when non-nil, observes every write-graph node install
 	// (debug and inspection use only).
 	InstallTrace func(view *writegraph.NodeView)
+	// RedoWorkers bounds the parallel redo pass's worker pool during
+	// Recover.  0 defaults to runtime.GOMAXPROCS(0); 1 forces serial redo.
+	RedoWorkers int
 }
 
 // DefaultOptions returns the paper's recommended configuration: refined
@@ -55,8 +59,12 @@ func DefaultOptions() Options {
 	}
 }
 
-// Engine is a recoverable object store with logical logging.
+// Engine is a recoverable object store with logical logging.  Its exported
+// methods are safe for concurrent use: a single mutex serializes them, which
+// matches the paper's model (recovery ordering, not latching, is the
+// subject).  Concurrency inside Recover is managed by the redo scheduler.
 type Engine struct {
+	mu    sync.Mutex
 	opts  Options
 	reg   *op.Registry
 	log   *wal.Log
@@ -113,11 +121,17 @@ func (e *Engine) Cache() *cache.Manager { return e.mgr }
 
 // History returns the operations executed since engine creation (volatile;
 // survives nothing — test oracle only).
-func (e *Engine) History() []*op.Operation { return e.history }
+func (e *Engine) History() []*op.Operation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.history
+}
 
 // Execute runs one operation through the engine.  Under the Physiological
 // option the operation is first lowered to the Figure 1(b) form.
 func (e *Engine) Execute(o *op.Operation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.opts.Physiological {
 		lowered, err := e.lowerPhysiological(o)
 		if err != nil {
@@ -164,10 +178,16 @@ func (e *Engine) lowerPhysiological(o *op.Operation) (*op.Operation, error) {
 }
 
 // Get returns the current value of x.
-func (e *Engine) Get(x op.ObjectID) ([]byte, error) { return e.mgr.Get(x) }
+func (e *Engine) Get(x op.ObjectID) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mgr.Get(x)
+}
 
 // InstallOne installs one minimal write-graph node (cache pressure).
 func (e *Engine) InstallOne() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	_, err := e.mgr.InstallMinimal()
 	if err == cache.ErrNothingToInstall {
 		return nil
@@ -176,10 +196,16 @@ func (e *Engine) InstallOne() error {
 }
 
 // FlushAll installs every uninstalled operation (full purge).
-func (e *Engine) FlushAll() error { return e.mgr.PurgeAll() }
+func (e *Engine) FlushAll() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mgr.PurgeAll()
+}
 
 // Checkpoint writes a checkpoint record and truncates the log.
 func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	_, err := e.mgr.CheckpointAndTruncate()
 	return err
 }
@@ -187,6 +213,8 @@ func (e *Engine) Checkpoint() error {
 // Crash simulates a crash: the unforced log tail, the cache, and the write
 // graph are lost; the stable log and stable store survive.
 func (e *Engine) Crash() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.log.Crash()
 	e.mgr.Crash()
 }
@@ -194,9 +222,12 @@ func (e *Engine) Crash() {
 // Recover runs crash recovery and resumes normal operation on the recovered
 // volatile state.  It returns the recovery statistics.
 func (e *Engine) Recover() (*recovery.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	res, err := recovery.Recover(e.log, e.store, recovery.Options{
-		Test:  e.opts.RedoTest,
-		Cache: e.cacheConfig(),
+		Test:        e.opts.RedoTest,
+		Cache:       e.cacheConfig(),
+		RedoWorkers: e.opts.RedoWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -214,11 +245,15 @@ type Stats struct {
 
 // Stats returns a snapshot of all counters.
 func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return Stats{Log: e.log.Stats(), Store: e.store.Stats(), Cache: e.mgr.Stats()}
 }
 
 // ResetStats zeroes log and store counters (benchmark phases).
 func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.log.ResetStats()
 	e.store.ResetStats()
 }

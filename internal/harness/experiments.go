@@ -15,7 +15,14 @@ import (
 	"logicallog/internal/writegraph"
 )
 
+// DefaultRedoWorkers, when non-zero, overrides Options.RedoWorkers for every
+// engine the harness builds (cmd/llbench's -redo-workers flag).
+var DefaultRedoWorkers int
+
 func newEngine(opts core.Options) (*core.Engine, error) {
+	if opts.RedoWorkers == 0 {
+		opts.RedoWorkers = DefaultRedoWorkers
+	}
 	return core.New(opts)
 }
 
@@ -119,6 +126,9 @@ func E2Recovery() (*Table, error) {
 	for _, cfg := range configs {
 		const crashes = 40
 		ok := 0
+		if cfg.opts.RedoWorkers == 0 {
+			cfg.opts.RedoWorkers = DefaultRedoWorkers
+		}
 		for seed := int64(1); seed <= crashes; seed++ {
 			if err := sim.CrashTest(cfg.opts, sim.DefaultScenario(seed)); err != nil {
 				return nil, fmt.Errorf("E2 %s seed %d: %w", cfg.name, seed, err)

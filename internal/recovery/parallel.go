@@ -1,0 +1,252 @@
+// Parallel redo: the redo stream is partitioned into conflict-disjoint
+// dependency chains and independent chains are replayed concurrently on a
+// bounded worker pool.
+//
+// Operation B depends on operation A (earlier in the log) iff B reads or
+// writes an object A wrote.  Taking the symmetric closure — connected
+// components over "shares an object at least one of the two writes" — yields
+// chains with the property that every operation touching a written object
+// lives in the same chain as all that object's writers.  Replaying each
+// chain serially in log order therefore preserves per-object replay order
+// exactly, and cross-chain object sharing is read-only (objects no chain
+// writes), so chains commute: the recovered state and every Result counter
+// are bit-identical to the serial pass regardless of worker count or
+// scheduling.  (DESIGN.md, "Dependency-chain partitioning".)
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"logicallog/internal/cache"
+	"logicallog/internal/op"
+	"logicallog/internal/wal"
+)
+
+// resolveWorkers maps the Options.RedoWorkers knob to a concrete pool size.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// unionFind is a path-halving union-find over operation indices.  Roots are
+// kept at the smallest member index so chain numbering is deterministic.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(i int) int {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return i
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}
+
+// partitionChains splits the scanned operation stream into dependency
+// chains.  Two operations land in the same chain iff they are connected by
+// conflicts: a writer of x merges with every earlier writer and every
+// earlier reader of x (WAW, RAW, WAR), and a reader of x merges with x's
+// earlier writers.  Read-read sharing does not merge.  Each chain lists its
+// operations in log order; chains are ordered by their first operation.
+func partitionChains(ops []*op.Operation) [][]*op.Operation {
+	uf := newUnionFind(len(ops))
+	// written maps an object with at least one writer so far to any member
+	// of the (single) component holding all its writers; readers collects
+	// reads of objects not yet written, which merge lazily if a writer
+	// arrives.
+	written := make(map[op.ObjectID]int)
+	readers := make(map[op.ObjectID][]int)
+	for i, o := range ops {
+		for _, x := range o.WriteSet {
+			if w, ok := written[x]; ok {
+				uf.union(i, w)
+			}
+			if rs := readers[x]; len(rs) > 0 {
+				for _, r := range rs {
+					uf.union(i, r)
+				}
+				delete(readers, x)
+			}
+			written[x] = i
+		}
+		for _, x := range o.ReadSet {
+			if w, ok := written[x]; ok {
+				uf.union(i, w)
+			} else {
+				readers[x] = append(readers[x], i)
+			}
+		}
+	}
+	chainOf := make(map[int]int)
+	var chains [][]*op.Operation
+	for i, o := range ops {
+		root := uf.find(i)
+		ci, ok := chainOf[root]
+		if !ok {
+			ci = len(chains)
+			chainOf[root] = ci
+			chains = append(chains, nil)
+		}
+		chains[ci] = append(chains[ci], o)
+	}
+	return chains
+}
+
+// redoCounters are the per-chain tallies merged into Result.  Each counter
+// is a sum of per-operation 0/1 decisions that depend only on intra-chain
+// state, so the merged totals are independent of chain scheduling.
+type redoCounters struct {
+	redone           int
+	skippedInstalled int
+	skippedUnexposed int
+	voided           int
+}
+
+func (c *redoCounters) add(d redoCounters) {
+	c.redone += d.redone
+	c.skippedInstalled += d.skippedInstalled
+	c.skippedUnexposed += d.skippedUnexposed
+	c.voided += d.voided
+}
+
+// redoChain replays one dependency chain serially in log order, exactly as
+// the serial redo loop would.  stop is checked between operations so one
+// chain's failure aborts the others promptly.
+func redoChain(mgr *cache.Manager, dot dirtyTable, opts Options, traceMu *sync.Mutex, stop *atomic.Bool, chain []*op.Operation) (redoCounters, error) {
+	var c redoCounters
+	for _, o := range chain {
+		if stop.Load() {
+			return c, nil
+		}
+		redo, installedWitness := redoDecision(opts.Test, mgr, dot, o)
+		if !redo {
+			if installedWitness {
+				c.skippedInstalled++
+				traceLocked(opts, traceMu, o, "skip-installed")
+			} else {
+				c.skippedUnexposed++
+				traceLocked(opts, traceMu, o, "skip-unexposed")
+			}
+			continue
+		}
+		voided, err := mgr.TryApplyLogged(o.Clone())
+		if err != nil {
+			return c, fmt.Errorf("recovery: redo of %s: %w", o, err)
+		}
+		if voided {
+			c.voided++
+			traceLocked(opts, traceMu, o, "voided")
+		} else {
+			c.redone++
+			traceLocked(opts, traceMu, o, "redo")
+		}
+	}
+	return c, nil
+}
+
+func traceLocked(opts Options, mu *sync.Mutex, o *op.Operation, decision string) {
+	if opts.Trace == nil {
+		return
+	}
+	mu.Lock()
+	opts.Trace(o, decision)
+	mu.Unlock()
+}
+
+// redoParallel runs the redo pass over the scanner with the given worker
+// count: it drains the scan, partitions the stream into dependency chains,
+// and dispatches whole chains onto the pool.  Counters land in res.
+func redoParallel(sc *wal.Scanner, mgr *cache.Manager, dot dirtyTable, opts Options, workers int, res *Result) error {
+	var ops []*op.Operation
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Type != wal.RecOperation {
+			continue
+		}
+		ops = append(ops, rec.Op)
+	}
+	res.ScannedOps = len(ops)
+	chains := partitionChains(ops)
+	if workers > len(chains) {
+		workers = len(chains)
+	}
+
+	var (
+		traceMu  sync.Mutex
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		totalMu  sync.Mutex
+		total    redoCounters
+		wg       sync.WaitGroup
+	)
+	work := make(chan []*op.Operation)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for chain := range work {
+				c, err := redoChain(mgr, dot, opts, &traceMu, &stop, chain)
+				totalMu.Lock()
+				total.add(c)
+				totalMu.Unlock()
+				if err != nil {
+					stop.Store(true)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, chain := range chains {
+		if stop.Load() {
+			break
+		}
+		work <- chain
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	res.Redone = total.redone
+	res.SkippedInstalled = total.skippedInstalled
+	res.SkippedUnexposed = total.skippedUnexposed
+	res.Voided = total.voided
+	return nil
+}

@@ -1,0 +1,120 @@
+package recovery
+
+import (
+	"testing"
+
+	"logicallog/internal/op"
+)
+
+// mkOp builds a minimal operation with the given read/write sets for
+// partitioning tests (the partitioner inspects only the sets).
+func mkOp(reads, writes []op.ObjectID) *op.Operation {
+	return &op.Operation{ReadSet: reads, WriteSet: writes}
+}
+
+// chainShape reduces a partition to per-chain operation indices for
+// comparison.
+func chainShape(ops []*op.Operation, chains [][]*op.Operation) [][]int {
+	idx := make(map[*op.Operation]int, len(ops))
+	for i, o := range ops {
+		idx[o] = i
+	}
+	out := make([][]int, len(chains))
+	for ci, chain := range chains {
+		for _, o := range chain {
+			out[ci] = append(out[ci], idx[o])
+		}
+	}
+	return out
+}
+
+func TestPartitionChains(t *testing.T) {
+	a, b, c, d := op.ObjectID("A"), op.ObjectID("B"), op.ObjectID("C"), op.ObjectID("D")
+	cases := []struct {
+		name string
+		ops  []*op.Operation
+		want [][]int
+	}{
+		{
+			name: "disjoint writers split",
+			ops: []*op.Operation{
+				mkOp(nil, []op.ObjectID{a}),
+				mkOp(nil, []op.ObjectID{b}),
+				mkOp(nil, []op.ObjectID{a}),
+			},
+			want: [][]int{{0, 2}, {1}},
+		},
+		{
+			name: "RAW merges reader with writer",
+			ops: []*op.Operation{
+				mkOp(nil, []op.ObjectID{a}),
+				mkOp([]op.ObjectID{a}, []op.ObjectID{b}),
+				mkOp(nil, []op.ObjectID{c}),
+			},
+			want: [][]int{{0, 1}, {2}},
+		},
+		{
+			name: "WAR merges earlier reader with later writer",
+			ops: []*op.Operation{
+				mkOp([]op.ObjectID{a}, []op.ObjectID{b}),
+				mkOp(nil, []op.ObjectID{a}),
+			},
+			want: [][]int{{0, 1}},
+		},
+		{
+			name: "read-read does not merge",
+			ops: []*op.Operation{
+				mkOp([]op.ObjectID{d}, []op.ObjectID{a}),
+				mkOp([]op.ObjectID{d}, []op.ObjectID{b}),
+			},
+			want: [][]int{{0}, {1}},
+		},
+		{
+			name: "transitive chain through shared object",
+			ops: []*op.Operation{
+				mkOp(nil, []op.ObjectID{a}),
+				mkOp([]op.ObjectID{a}, []op.ObjectID{b}),
+				mkOp([]op.ObjectID{b}, []op.ObjectID{c}),
+				mkOp(nil, []op.ObjectID{d}),
+			},
+			want: [][]int{{0, 1, 2}, {3}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := chainShape(tc.ops, partitionChains(tc.ops))
+			if len(got) != len(tc.want) {
+				t.Fatalf("chains = %v, want %v", got, tc.want)
+			}
+			for ci := range got {
+				if len(got[ci]) != len(tc.want[ci]) {
+					t.Fatalf("chains = %v, want %v", got, tc.want)
+				}
+				for j := range got[ci] {
+					if got[ci][j] != tc.want[ci][j] {
+						t.Fatalf("chains = %v, want %v", got, tc.want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionChainsPreservesLogOrder checks the per-chain order invariant
+// on a synthetic interleaving: within any chain, operation indices ascend.
+func TestPartitionChainsPreservesLogOrder(t *testing.T) {
+	var ops []*op.Operation
+	objs := []op.ObjectID{"A", "B", "C", "D", "E"}
+	for i := 0; i < 100; i++ {
+		x := objs[i%len(objs)]
+		y := objs[(i*7+3)%len(objs)]
+		ops = append(ops, mkOp([]op.ObjectID{y}, []op.ObjectID{x}))
+	}
+	for ci, chain := range chainShape(ops, partitionChains(ops)) {
+		for j := 1; j < len(chain); j++ {
+			if chain[j] <= chain[j-1] {
+				t.Fatalf("chain %d out of log order: %v", ci, chain)
+			}
+		}
+	}
+}

@@ -62,6 +62,11 @@ type Options struct {
 	// Cache configures the cache manager recovery rebuilds (policy,
 	// strategy, registry).  Registry is required.
 	Cache cache.Config
+	// RedoWorkers bounds the redo pass's worker pool.  0 (the default)
+	// resolves to runtime.GOMAXPROCS(0); 1 forces the streaming serial
+	// path.  Any value yields bit-identical recovered state and counters;
+	// see parallel.go for the dependency-chain argument.
+	RedoWorkers int
 	// Trace, when non-nil, receives each redo-pass decision ("redo",
 	// "skip-installed", "skip-unexposed", "voided") as it is made.  Debug
 	// and inspection use only.
@@ -145,6 +150,12 @@ func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 	sc, err := log.Scan(redoStart)
 	if err != nil {
 		return nil, err
+	}
+	if workers := resolveWorkers(opts.RedoWorkers); workers > 1 {
+		if err := redoParallel(sc, mgr, dot, opts, workers, res); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	for {
 		rec, err := sc.Next()

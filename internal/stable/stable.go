@@ -23,8 +23,11 @@ package stable
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"logicallog/internal/op"
 )
@@ -105,82 +108,137 @@ type IOStats struct {
 	Batches map[BatchMode]int64
 }
 
-func newIOStats() IOStats { return IOStats{Batches: make(map[BatchMode]int64)} }
-
-func (s IOStats) clone() IOStats {
-	c := s
-	c.Batches = make(map[BatchMode]int64, len(s.Batches))
-	for k, v := range s.Batches {
-		c.Batches[k] = v
-	}
-	return c
-}
-
 // ErrCrashed is returned when injected failure interrupts a batch.
 var ErrCrashed = errors.New("stable: injected crash during batch write")
 
 // ErrNotFound is returned by Read for absent objects.
 var ErrNotFound = errors.New("stable: object not found")
 
-// Store is the simulated stable database.  Safe for concurrent use.
-type Store struct {
-	mu      sync.Mutex
+// storeShards stripes the object map so concurrent readers (parallel redo
+// workers faulting objects in) never contend on one mutex.  Power of two.
+const storeShards = 32
+
+var shardSeed = maphash.MakeSeed()
+
+type storeShard struct {
+	mu      sync.RWMutex
 	objects map[op.ObjectID]Versioned
-	stats   IOStats
+}
+
+// Store is the simulated stable database.  Safe for concurrent use: reads
+// take only the owning shard's read lock plus atomic counters, so parallel
+// redo scales; batch writes (and their crash-injection state) serialize on
+// batchMu, preserving the single-writer atomicity semantics each flush
+// mechanism models.
+type Store struct {
+	shards [storeShards]storeShard
+
+	// batchMu serializes WriteBatch, failure injection, and the pending
+	// flush transaction.
+	batchMu sync.Mutex
+
+	// Hot I/O counters, updated atomically (reads happen outside any
+	// global lock).
+	objectReads       atomic.Int64
+	objectWrites      atomic.Int64
+	objectWriteBytes  atomic.Int64
+	pointerSwings     atomic.Int64
+	flushTxnLogWrites atomic.Int64
+	flushTxnLogBytes  atomic.Int64
+
+	// batches is only touched under batchMu (plus Stats's snapshot).
+	statsMu sync.Mutex
+	batches map[BatchMode]int64
+
+	// readDelayNS, when > 0, adds that much simulated device latency to
+	// every Read — the disk-resident-store regime parallel redo overlaps.
+	// Benchmarks only; nanoseconds, accessed atomically.
+	readDelayNS atomic.Int64
 
 	// failAfter, when >= 0, injects a crash after that many object writes
-	// within the next batch.
+	// within the next batch.  Guarded by batchMu.
 	failAfter int
 
 	// pending is a committed-but-unapplied flush transaction, repaired by
 	// RecoverPending (a real system replays it from the log at restart).
+	// Guarded by batchMu.
 	pending []Entry
 }
 
 // NewStore returns an empty stable store.
 func NewStore() *Store {
-	return &Store{
-		objects:   make(map[op.ObjectID]Versioned),
-		stats:     newIOStats(),
+	s := &Store{
+		batches:   make(map[BatchMode]int64),
 		failAfter: -1,
 	}
+	for i := range s.shards {
+		s.shards[i].objects = make(map[op.ObjectID]Versioned)
+	}
+	return s
+}
+
+func (s *Store) shard(x op.ObjectID) *storeShard {
+	return &s.shards[maphash.String(shardSeed, string(x))&(storeShards-1)]
+}
+
+// SetReadDelay models per-read device latency (a disk-backed store) for
+// benchmarks; zero (the default) reads at memory speed.
+func (s *Store) SetReadDelay(d time.Duration) {
+	s.readDelayNS.Store(int64(d))
 }
 
 // Read fetches an object.  The returned value aliases nothing.
 func (s *Store) Read(x op.ObjectID) (Versioned, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.objects[x]
+	if d := s.readDelayNS.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	sh := s.shard(x)
+	sh.mu.RLock()
+	v, ok := sh.objects[x]
+	var val []byte
+	if ok {
+		val = append([]byte(nil), v.Val...)
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return Versioned{}, fmt.Errorf("%w: %q", ErrNotFound, x)
 	}
-	s.stats.ObjectReads++
-	return Versioned{Val: append([]byte(nil), v.Val...), VSI: v.VSI}, nil
+	s.objectReads.Add(1)
+	return Versioned{Val: val, VSI: v.VSI}, nil
 }
 
 // Contains reports whether x exists without counting an I/O.
 func (s *Store) Contains(x op.ObjectID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.objects[x]
+	sh := s.shard(x)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.objects[x]
 	return ok
 }
 
 // Len returns the number of stored objects.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.objects)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.objects)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // IDs returns all object ids in ascending order (no I/O accounting; this is
 // a catalog operation).
 func (s *Store) IDs() []op.ObjectID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]op.ObjectID, 0, len(s.objects))
-	for x := range s.objects {
-		out = append(out, x)
+	var out []op.ObjectID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for x := range sh.objects {
+			out = append(out, x)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -190,8 +248,8 @@ func (s *Store) IDs() []op.ObjectID {
 // successful object writes (n may be 0 to crash immediately).  The injection
 // disarms after firing.
 func (s *Store) FailAfterWrites(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
 	s.failAfter = n
 }
 
@@ -203,15 +261,17 @@ func (s *Store) FailAfterWrites(n int) {
 // old with a pending repair (flush transaction after commit — see
 // RecoverPending).
 func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
 	if len(entries) == 0 {
 		return nil
 	}
 	if mode == ModeSingle && len(entries) != 1 {
 		return fmt.Errorf("stable: ModeSingle batch has %d entries", len(entries))
 	}
-	s.stats.Batches[mode]++
+	s.statsMu.Lock()
+	s.batches[mode]++
+	s.statsMu.Unlock()
 	switch mode {
 	case ModeSingle:
 		if s.consumeFailure(0) {
@@ -235,16 +295,16 @@ func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
 			if s.consumeFailure(i) {
 				return ErrCrashed // old state intact: swing never happened
 			}
-			s.stats.ObjectWrites++
+			s.objectWrites.Add(1)
 			if !e.Delete {
-				s.stats.ObjectWriteBytes += int64(len(e.Val))
+				s.objectWriteBytes.Add(int64(len(e.Val)))
 			}
 		}
 		// Phase 2: atomic pointer swing installs every entry at once.
 		if s.consumeFailure(len(entries)) {
 			return ErrCrashed
 		}
-		s.stats.PointerSwings++
+		s.pointerSwings.Add(1)
 		for _, e := range entries {
 			s.installEntry(e)
 		}
@@ -256,13 +316,13 @@ func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
 			if s.consumeFailure(i) {
 				return ErrCrashed // before commit: old state intact
 			}
-			s.stats.FlushTxnLogWrites++
+			s.flushTxnLogWrites.Add(1)
 			if !e.Delete {
-				s.stats.FlushTxnLogBytes += int64(len(e.Val))
+				s.flushTxnLogBytes.Add(int64(len(e.Val)))
 			}
 		}
 		// Commit record (forced).
-		s.stats.FlushTxnLogWrites++
+		s.flushTxnLogWrites.Add(1)
 		s.pending = cloneEntries(entries)
 		// Phase 2: in-place writes; a crash here leaves pending set, and
 		// RecoverPending finishes the job (idempotently).
@@ -289,26 +349,29 @@ func (s *Store) consumeFailure(idx int) bool {
 
 // applyEntry performs and costs one in-place object write.
 func (s *Store) applyEntry(e Entry) {
-	s.stats.ObjectWrites++
+	s.objectWrites.Add(1)
 	if !e.Delete {
-		s.stats.ObjectWriteBytes += int64(len(e.Val))
+		s.objectWriteBytes.Add(int64(len(e.Val)))
 	}
 	s.installEntry(e)
 }
 
 // installEntry mutates state without I/O accounting (shadow swing phase).
 func (s *Store) installEntry(e Entry) {
+	sh := s.shard(e.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if e.Delete {
-		delete(s.objects, e.ID)
+		delete(sh.objects, e.ID)
 		return
 	}
-	s.objects[e.ID] = Versioned{Val: append([]byte(nil), e.Val...), VSI: e.VSI}
+	sh.objects[e.ID] = Versioned{Val: append([]byte(nil), e.Val...), VSI: e.VSI}
 }
 
 // HasPending reports whether a committed flush transaction awaits repair.
 func (s *Store) HasPending() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
 	return s.pending != nil
 }
 
@@ -316,8 +379,8 @@ func (s *Store) HasPending() bool {
 // restart processing would replay it from the flush-transaction log.  It is
 // idempotent and returns the number of entries applied.
 func (s *Store) RecoverPending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
 	if s.pending == nil {
 		return 0
 	}
@@ -331,25 +394,46 @@ func (s *Store) RecoverPending() int {
 
 // Stats returns a snapshot of the I/O statistics.
 func (s *Store) Stats() IOStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats.clone()
+	st := IOStats{
+		ObjectReads:       s.objectReads.Load(),
+		ObjectWrites:      s.objectWrites.Load(),
+		ObjectWriteBytes:  s.objectWriteBytes.Load(),
+		PointerSwings:     s.pointerSwings.Load(),
+		FlushTxnLogWrites: s.flushTxnLogWrites.Load(),
+		FlushTxnLogBytes:  s.flushTxnLogBytes.Load(),
+		Batches:           make(map[BatchMode]int64),
+	}
+	s.statsMu.Lock()
+	for k, v := range s.batches {
+		st.Batches[k] = v
+	}
+	s.statsMu.Unlock()
+	return st
 }
 
 // ResetStats zeroes the I/O statistics.
 func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = newIOStats()
+	s.objectReads.Store(0)
+	s.objectWrites.Store(0)
+	s.objectWriteBytes.Store(0)
+	s.pointerSwings.Store(0)
+	s.flushTxnLogWrites.Store(0)
+	s.flushTxnLogBytes.Store(0)
+	s.statsMu.Lock()
+	s.batches = make(map[BatchMode]int64)
+	s.statsMu.Unlock()
 }
 
 // Snapshot returns a deep copy of the stored state (test oracle use).
 func (s *Store) Snapshot() map[op.ObjectID]Versioned {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[op.ObjectID]Versioned, len(s.objects))
-	for x, v := range s.objects {
-		out[x] = Versioned{Val: append([]byte(nil), v.Val...), VSI: v.VSI}
+	out := make(map[op.ObjectID]Versioned)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for x, v := range sh.objects {
+			out[x] = Versioned{Val: append([]byte(nil), v.Val...), VSI: v.VSI}
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -357,11 +441,16 @@ func (s *Store) Snapshot() map[op.ObjectID]Versioned {
 // Restore replaces the stored state with a snapshot (media-recovery /
 // backup support and test use).
 func (s *Store) Restore(snap map[op.ObjectID]Versioned) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.objects = make(map[op.ObjectID]Versioned, len(snap))
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.objects = make(map[op.ObjectID]Versioned)
+		sh.mu.Unlock()
+	}
 	for x, v := range snap {
-		s.objects[x] = Versioned{Val: append([]byte(nil), v.Val...), VSI: v.VSI}
+		s.installEntry(Entry{ID: x, Val: v.Val, VSI: v.VSI})
 	}
 	s.pending = nil
 }

@@ -58,6 +58,11 @@ func (e *encoder) rsis(s []ObjectRSI) {
 
 type decoder struct {
 	buf []byte
+	// alias, when set, makes bytes() return subslices of buf instead of
+	// copies.  Safe only when buf is immutable and outlives the record
+	// (the Scanner's snapshot qualifies); it removes the dominant
+	// per-record allocation of the redo scan.
+	alias bool
 }
 
 var errCorrupt = fmt.Errorf("wal: corrupt record payload")
@@ -86,7 +91,12 @@ func (d *decoder) bytes() ([]byte, error) {
 	if uint64(len(d.buf)) < l {
 		return nil, errCorrupt
 	}
-	out := append([]byte(nil), d.buf[:l]...)
+	var out []byte
+	if d.alias {
+		out = d.buf[:l:l]
+	} else {
+		out = append([]byte(nil), d.buf[:l]...)
+	}
 	d.buf = d.buf[l:]
 	return out, nil
 }
@@ -179,9 +189,20 @@ func EncodeRecord(r *Record) ([]byte, error) {
 	return e.buf, nil
 }
 
-// DecodeRecord parses a record payload produced by EncodeRecord.
+// DecodeRecord parses a record payload produced by EncodeRecord.  The
+// returned record owns its memory (payload may be reused by the caller).
 func DecodeRecord(payload []byte) (*Record, error) {
-	d := &decoder{buf: payload}
+	return decodeRecord(payload, false)
+}
+
+// decodeRecordAliased parses a record whose byte fields alias payload.  The
+// caller must guarantee payload is immutable for the record's lifetime.
+func decodeRecordAliased(payload []byte) (*Record, error) {
+	return decodeRecord(payload, true)
+}
+
+func decodeRecord(payload []byte, alias bool) (*Record, error) {
+	d := &decoder{buf: payload, alias: alias}
 	t, err := d.u8()
 	if err != nil {
 		return nil, err

@@ -14,14 +14,25 @@ import (
 // A crash loses the volatile tail.  LSNs are assigned densely starting at 1
 // and double as state identifiers (SIs) throughout the system.
 //
-// Log is safe for concurrent use.
+// Log is safe for concurrent use.  Concurrent forcers group-commit: while
+// one caller (the leader) is writing the tail to the device, later callers
+// whose records are covered by that in-flight write wait on it instead of
+// issuing their own device write (leader/follower coalescing).  The device
+// write itself happens outside the log mutex, so appenders keep running
+// while a force is in flight.
 type Log struct {
 	mu        sync.Mutex
-	dev       Device
-	nextLSN   op.SI
-	stableLSN op.SI
-	firstLSN  op.SI // first LSN still on the device (post truncation)
-	tail      []pending
+	forceDone *sync.Cond // broadcast when an in-flight force completes
+	forcing   bool       // a leader is writing to the device
+	// pendingForce accumulates the highest LSN requested by forcers that
+	// arrived while a leader's write was in flight; the next leader
+	// absorbs all of them in one device write.
+	pendingForce op.SI
+	dev          Device
+	nextLSN      op.SI
+	stableLSN    op.SI
+	firstLSN     op.SI // first LSN still on the device (post truncation)
+	tail         []pending
 
 	stats Stats
 }
@@ -47,6 +58,9 @@ type Stats struct {
 	BytesAppended int64
 	// Forces counts Force calls that actually wrote to the device.
 	Forces int64
+	// ForcesCoalesced counts Force/ForceThrough calls satisfied by another
+	// caller's in-flight device write (group commit followers).
+	ForcesCoalesced int64
 }
 
 func newStats() Stats {
@@ -57,20 +71,23 @@ func newStats() Stats {
 	}
 }
 
+// clone returns a deep copy: the scalar fields by value and every map
+// rebuilt, so a snapshot handed to a concurrent reader shares nothing with
+// the maps appenders keep mutating under the log mutex.
 func (s Stats) clone() Stats {
-	c := newStats()
+	c := s // scalars
+	c.Records = make(map[RecordType]int64, len(s.Records))
 	for k, v := range s.Records {
 		c.Records[k] = v
 	}
+	c.PayloadBytes = make(map[RecordType]int64, len(s.PayloadBytes))
 	for k, v := range s.PayloadBytes {
 		c.PayloadBytes[k] = v
 	}
+	c.OpPayloadBytes = make(map[op.Kind]int64, len(s.OpPayloadBytes))
 	for k, v := range s.OpPayloadBytes {
 		c.OpPayloadBytes[k] = v
 	}
-	c.ValueBytes = s.ValueBytes
-	c.BytesAppended = s.BytesAppended
-	c.Forces = s.Forces
 	return c
 }
 
@@ -87,6 +104,7 @@ func (s Stats) TotalOpPayloadBytes() int64 {
 // crash), the log resumes LSN assignment after the highest durable record.
 func New(dev Device) (*Log, error) {
 	l := &Log{dev: dev, nextLSN: 1, firstLSN: 1, stats: newStats()}
+	l.forceDone = sync.NewCond(&l.mu)
 	// Recover LSN horizon from existing contents.
 	data, err := dev.ReadAll()
 	if err != nil {
@@ -166,28 +184,78 @@ func (l *Log) ForceThrough(lsn op.SI) error {
 	return l.forceLocked(lsn)
 }
 
+// forceLocked implements group commit.  The caller holds l.mu; the device
+// write happens with the mutex released.
+//
+// A caller whose lsn is already durable returns immediately.  Otherwise, if
+// a leader's device write is in flight, the caller records its target in
+// pendingForce and waits as a follower: when the leader finishes, a
+// follower whose lsn the write covered returns without touching the device
+// (counted in ForcesCoalesced).  A caller that finds no force in flight
+// becomes the leader and writes, in one device append, the tail prefix
+// covering its own target and every target accumulated in pendingForce —
+// coalescing concurrent committers without forcing records nobody asked
+// for (the unforced suffix stays crash-losable, which the simulator's
+// crash model depends on).
 func (l *Log) forceLocked(lsn op.SI) error {
-	if lsn <= l.stableLSN || len(l.tail) == 0 {
-		return nil
+	joined := false
+	for {
+		if lsn <= l.stableLSN {
+			if joined {
+				l.stats.ForcesCoalesced++
+			}
+			return nil
+		}
+		if !l.forcing {
+			break
+		}
+		joined = true
+		if lsn > l.pendingForce {
+			l.pendingForce = lsn
+		}
+		l.forceDone.Wait()
 	}
+	// Leader: claim every pending target in one write.
+	target := lsn
+	if l.pendingForce > target {
+		target = l.pendingForce
+	}
+	l.pendingForce = 0
 	var buf []byte
 	n := 0
+	last := op.SI(0)
 	for _, p := range l.tail {
-		if p.lsn > lsn {
+		if p.lsn > target {
 			break
 		}
 		buf = append(buf, p.frame...)
+		last = p.lsn
 		n++
 	}
 	if n == 0 {
 		return nil
 	}
-	if err := l.dev.Append(buf); err != nil {
+	l.forcing = true
+	l.mu.Unlock()
+	err := l.dev.Append(buf)
+	l.mu.Lock()
+	l.forcing = false
+	if err == nil {
+		if last > l.stableLSN {
+			l.stableLSN = last
+		}
+		// Drop exactly the frames written.  Crash may have emptied the
+		// tail meanwhile; the device write still happened, so stableLSN
+		// stands either way.
+		if len(l.tail) >= n && l.tail[n-1].lsn == last {
+			l.tail = l.tail[n:]
+		}
+		l.stats.Forces++
+	}
+	l.forceDone.Broadcast()
+	if err != nil {
 		return fmt.Errorf("wal: force: %w", err)
 	}
-	l.stableLSN = l.tail[n-1].lsn
-	l.tail = l.tail[n:]
-	l.stats.Forces++
 	return nil
 }
 
@@ -230,6 +298,11 @@ func (l *Log) Crash() int {
 func (l *Log) Truncate(before op.SI) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Truncation rewrites the device from a full read; an in-flight force
+	// appending concurrently would be lost by the rewrite.  Wait it out.
+	for l.forcing {
+		l.forceDone.Wait()
+	}
 	data, err := l.dev.ReadAll()
 	if err != nil {
 		return err
@@ -264,6 +337,11 @@ func (l *Log) Truncate(before op.SI) error {
 }
 
 // Scanner iterates durable records in LSN order.
+//
+// Returned records' byte fields (operation params and values) alias the
+// scanner's private snapshot of the device, which is immutable; callers must
+// treat them as read-only (recovery clones operations before applying them).
+// This keeps the redo scan free of per-record payload copies.
 type Scanner struct {
 	data []byte
 	from op.SI
@@ -288,7 +366,7 @@ func (s *Scanner) Next() (*Record, error) {
 		if err != nil {
 			return nil, io.EOF
 		}
-		rec, err := DecodeRecord(payload)
+		rec, err := decodeRecordAliased(payload)
 		if err != nil {
 			return nil, io.EOF
 		}
