@@ -217,7 +217,9 @@ func BenchmarkE6RedoTests(b *testing.B) {
 						}
 					}
 				}
-				eng.Log().Force()
+				if err := eng.Log().Force(); err != nil {
+					b.Fatal(err)
+				}
 				eng.Crash()
 				res, err := eng.Recover()
 				if err != nil {
@@ -383,7 +385,9 @@ func BenchmarkE10ScanLength(b *testing.B) {
 						}
 					}
 				}
-				eng.Log().Force()
+				if err := eng.Log().Force(); err != nil {
+					b.Fatal(err)
+				}
 				eng.Crash()
 				res, err := eng.Recover()
 				if err != nil {
@@ -505,7 +509,9 @@ func BenchmarkAblationInstallLogging(b *testing.B) {
 						}
 					}
 				}
-				eng.Log().Force()
+				if err := eng.Log().Force(); err != nil {
+					b.Fatal(err)
+				}
 				eng.Crash()
 				res, err := eng.Recover()
 				if err != nil {

@@ -1,0 +1,81 @@
+// Command lllint is the logical-logging lint driver: a multichecker hosting
+// the analyzers in internal/lint, which mechanically enforce the
+// recovery-critical invariants documented in DESIGN.md (deterministic redo
+// replay, the engine/cache/stable/wal lock order, the force-error
+// discipline, atomic-access consistency, and log-record immutability).
+//
+// Usage:
+//
+//	go run ./cmd/lllint [-list] [-only name[,name]] [packages]
+//
+// With no packages it lints ./...; any finding makes it exit 1.  Intentional
+// findings are silenced in source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"logicallog/internal/lint"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "print the analyzer suite and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lllint [-list] [-only name[,name]] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "lllint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lllint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Lint(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lllint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lllint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,10 +1,15 @@
 package logicallog
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"testing"
 )
+
+// seedFlag pins the randomized DB crash trials to one seed so a failure
+// reported as "seed N" reproduces with `go test -run TestDBCrashMatrix -seed N`.
+var seedFlag = flag.Int64("seed", 0, "pin randomized crash tests to this single seed (0 = full range)")
 
 // TestDBCrashMatrix drives the public API through randomized workloads with
 // crashes, mirroring internal/sim but exercising the exported surface: all
@@ -21,6 +26,10 @@ func TestDBCrashMatrix(t *testing.T) {
 	for name, opts := range configs {
 		opts := opts
 		t.Run(name, func(t *testing.T) {
+			if *seedFlag != 0 {
+				runDBCrashTrial(t, opts, *seedFlag)
+				return
+			}
 			for seed := int64(1); seed <= 8; seed++ {
 				runDBCrashTrial(t, opts, seed)
 			}
@@ -30,6 +39,7 @@ func TestDBCrashMatrix(t *testing.T) {
 
 func runDBCrashTrial(t *testing.T, opts Options, seed int64) {
 	t.Helper()
+	t.Logf("trial seed %d (reproduce with -seed %d)", seed, seed)
 	db, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)

@@ -29,7 +29,9 @@ func Example() {
 	db.Create("in", []byte("logical logging"))
 	db.ApplyLogical("upper-ascii", nil, []string{"in"}, []string{"out"})
 
-	db.Sync()
+	if err := db.Sync(); err != nil {
+		panic(err)
+	}
 	db.Crash()
 	if _, err := db.Recover(); err != nil {
 		panic(err)

@@ -145,7 +145,9 @@ func TestAppSurvivesCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	if _, err := eng.Recover(); err != nil {
 		t.Fatal(err)
@@ -193,7 +195,9 @@ func TestTerminatedAppNotRedone(t *testing.T) {
 	if err := eng.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	res, err := eng.Recover()
 	if err != nil {

@@ -209,7 +209,9 @@ func TestBackupSkipsVanishedObjects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Store().Restore(nil)
 	eng.Crash()
 	res, err := MediaRecover(eng, b, recOpts(eng))

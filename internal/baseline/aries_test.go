@@ -75,10 +75,14 @@ func TestFlushAnyOrderAnyTime(t *testing.T) {
 func TestCrashRecovery(t *testing.T) {
 	m := newManager(t)
 	m.Set("a", []byte("base"))
-	m.FlushAll()
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 	m.Update("a", op.FuncAppend, []byte("+1"))
 	m.Set("b", []byte("new"))
-	m.Log().Force()
+	if err := m.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	m.Crash()
 	st, err := m.Recover()
 	if err != nil {
@@ -98,10 +102,14 @@ func TestRecoverySkipsFlushedPages(t *testing.T) {
 	m := newManager(t)
 	m.Set("a", []byte("1"))
 	m.Set("b", []byte("2"))
-	m.FlushAll()
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 	m.Checkpoint()
 	m.Update("b", op.FuncAppend, []byte("!"))
-	m.Log().Force()
+	if err := m.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	m.Crash()
 	st, err := m.Recover()
 	if err != nil {
@@ -118,7 +126,9 @@ func TestRecoverySkipsFlushedPages(t *testing.T) {
 func TestUnforcedTailLost(t *testing.T) {
 	m := newManager(t)
 	m.Set("a", []byte("durable"))
-	m.Log().Force()
+	if err := m.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	m.Set("b", []byte("volatile"))
 	m.Crash()
 	if _, err := m.Recover(); err != nil {
@@ -160,7 +170,9 @@ func TestRandomWorkloadCrashRecovery(t *testing.T) {
 			oracle[p] = []byte(p)
 			record(p)
 		}
-		m.Log().Force()
+		if err := m.Log().Force(); err != nil {
+			t.Fatal(err)
+		}
 		for step := 0; step < 60; step++ {
 			p := pages[rng.Intn(len(pages))]
 			switch rng.Intn(4) {
@@ -181,7 +193,9 @@ func TestRandomWorkloadCrashRecovery(t *testing.T) {
 				m.Checkpoint()
 			}
 			if rng.Intn(5) == 0 {
-				m.Log().Force()
+				if err := m.Log().Force(); err != nil {
+					t.Fatal(err)
+				}
 			}
 		}
 		horizon := m.Log().StableLSN()

@@ -248,7 +248,9 @@ func TestTreeSurvivesCrash(t *testing.T) {
 			}
 		}
 	}
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	if _, err := eng.Recover(); err != nil {
 		t.Fatal(err)
@@ -287,7 +289,9 @@ func TestTreeCrashAtEveryBatch(t *testing.T) {
 				}
 			}
 		}
-		eng.Log().Force()
+		if err := eng.Log().Force(); err != nil {
+			t.Fatal(err)
+		}
 		eng.Crash()
 		if _, err := eng.Recover(); err != nil {
 			t.Fatalf("batches=%d: %v", batches, err)

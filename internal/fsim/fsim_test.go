@@ -154,7 +154,9 @@ func TestFilesSurviveCrash(t *testing.T) {
 	fs.Sort("sorted", "keep")
 	fs.Create("tmp", []byte("scratch"))
 	fs.Remove("tmp")
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	if _, err := eng.Recover(); err != nil {
 		t.Fatal(err)
@@ -186,7 +188,9 @@ func TestCopyChainSurvivesCrashMidFlush(t *testing.T) {
 	if err := eng.InstallOne(); err != nil {
 		t.Fatal(err)
 	}
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	if _, err := eng.Recover(); err != nil {
 		t.Fatal(err)

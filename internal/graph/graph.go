@@ -77,9 +77,11 @@ func (g *Digraph) RemoveEdge(u, v NodeID) {
 
 // RemoveNode deletes n and all incident edges.
 func (g *Digraph) RemoveNode(n NodeID) {
+	//lint:ignore replaydeterminism independent per-edge deletes; final maps identical in any order
 	for v := range g.succ[n] {
 		delete(g.pred[v], n)
 	}
+	//lint:ignore replaydeterminism independent per-edge deletes; final maps identical in any order
 	for u := range g.pred[n] {
 		delete(g.succ[u], n)
 	}
@@ -93,6 +95,7 @@ func (g *Digraph) Len() int { return len(g.succ) }
 // EdgeCount returns the number of edges.
 func (g *Digraph) EdgeCount() int {
 	n := 0
+	//lint:ignore replaydeterminism commutative sum
 	for _, s := range g.succ {
 		n += len(s)
 	}
@@ -102,6 +105,7 @@ func (g *Digraph) EdgeCount() int {
 // Nodes returns all node ids in ascending order.
 func (g *Digraph) Nodes() []NodeID {
 	out := make([]NodeID, 0, len(g.succ))
+	//lint:ignore replaydeterminism key collection is order-independent; sorted below
 	for n := range g.succ {
 		out = append(out, n)
 	}
@@ -126,6 +130,7 @@ func (g *Digraph) OutDegree(n NodeID) int { return len(g.succ[n]) }
 // "choose a minimal node v in W").
 func (g *Digraph) Minimal() []NodeID {
 	var out []NodeID
+	//lint:ignore replaydeterminism membership filter is order-independent; sorted below
 	for n, p := range g.pred {
 		if len(p) == 0 {
 			out = append(out, n)
@@ -138,10 +143,13 @@ func (g *Digraph) Minimal() []NodeID {
 // Clone returns a deep copy of g.
 func (g *Digraph) Clone() *Digraph {
 	c := New()
+	//lint:ignore replaydeterminism set copy; resulting maps identical in any order
 	for n := range g.succ {
 		c.AddNode(n)
 	}
+	//lint:ignore replaydeterminism edge-set copy; resulting maps identical in any order
 	for u, s := range g.succ {
+		//lint:ignore replaydeterminism edge-set copy; resulting maps identical in any order
 		for v := range s {
 			c.AddEdge(u, v)
 		}
@@ -162,6 +170,7 @@ func (g *Digraph) Reachable(u, v NodeID) bool {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		//lint:ignore replaydeterminism visit order varies but the reachability answer does not
 		for s := range g.succ[n] {
 			if s == v {
 				return true
@@ -267,10 +276,12 @@ func (g *Digraph) SCC() [][]NodeID {
 // deterministic.
 func (g *Digraph) TopoOrder() ([]NodeID, error) {
 	indeg := make(map[NodeID]int, len(g.succ))
+	//lint:ignore replaydeterminism independent per-key writes
 	for n := range g.succ {
 		indeg[n] = len(g.pred[n])
 	}
 	var ready []NodeID
+	//lint:ignore replaydeterminism membership filter is order-independent; sorted below
 	for n, d := range indeg {
 		if d == 0 {
 			ready = append(ready, n)
@@ -310,6 +321,7 @@ func (g *Digraph) TopoOrder() ([]NodeID, error) {
 // collapse together.  Class ids become the node ids of the result.
 func (g *Digraph) Collapse(partition map[NodeID]NodeID) (*Digraph, error) {
 	out := New()
+	//lint:ignore replaydeterminism set construction; first missing-partition error is the only order effect and any violation fails
 	for n := range g.succ {
 		c, ok := partition[n]
 		if !ok {
@@ -317,8 +329,10 @@ func (g *Digraph) Collapse(partition map[NodeID]NodeID) (*Digraph, error) {
 		}
 		out.AddNode(c)
 	}
+	//lint:ignore replaydeterminism edge-set construction; resulting maps identical in any order
 	for u, s := range g.succ {
 		cu := partition[u]
+		//lint:ignore replaydeterminism edge-set construction; resulting maps identical in any order
 		for v := range s {
 			cv := partition[v]
 			if cu != cv {
@@ -367,7 +381,9 @@ func TransitiveClosurePartition(nodes []NodeID, related [][2]NodeID) map[NodeID]
 // dangling endpoints.  Used by tests and by the write-graph packages after
 // mutation-heavy phases.
 func (g *Digraph) Validate() error {
+	//lint:ignore replaydeterminism invariant scan; any violation fails, which one is reported is immaterial
 	for u, s := range g.succ {
+		//lint:ignore replaydeterminism invariant scan; any violation fails, which one is reported is immaterial
 		for v := range s {
 			if _, ok := g.pred[v]; !ok {
 				return fmt.Errorf("graph: edge %d->%d has dangling head", u, v)
@@ -377,7 +393,9 @@ func (g *Digraph) Validate() error {
 			}
 		}
 	}
+	//lint:ignore replaydeterminism invariant scan; any violation fails, which one is reported is immaterial
 	for v, p := range g.pred {
+		//lint:ignore replaydeterminism invariant scan; any violation fails, which one is reported is immaterial
 		for u := range p {
 			if _, ok := g.succ[u]; !ok {
 				return fmt.Errorf("graph: edge %d->%d has dangling tail", u, v)
@@ -392,6 +410,7 @@ func (g *Digraph) Validate() error {
 
 func sortedKeys(m map[NodeID]struct{}) []NodeID {
 	out := make([]NodeID, 0, len(m))
+	//lint:ignore replaydeterminism key collection is order-independent; sorted below
 	for n := range m {
 		out = append(out, n)
 	}

@@ -162,6 +162,7 @@ func NewPrefixSet(lsns ...op.SI) PrefixSet {
 // Sorted returns the member LSNs in ascending order.
 func (s PrefixSet) Sorted() []op.SI {
 	out := make([]op.SI, 0, len(s))
+	//lint:ignore replaydeterminism key collection is order-independent; sorted below
 	for l := range s {
 		out = append(out, l)
 	}
@@ -172,6 +173,7 @@ func (s PrefixSet) Sorted() []op.SI {
 // IsPrefixSet reports whether I is downward-closed under installation order:
 // for every O in I, every installation-graph predecessor of O is also in I.
 func (ig *Graph) IsPrefixSet(I PrefixSet) bool {
+	//lint:ignore replaydeterminism conjunction over members; the answer is order-independent
 	for l := range I {
 		if _, ok := ig.ops[l]; !ok {
 			return false
@@ -227,6 +229,7 @@ func (ig *Graph) LastWriter(I PrefixSet, x op.ObjectID) op.SI {
 // before logging began).
 func (ig *Graph) ValueAfter(reg *op.Registry, I PrefixSet, initial map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
 	state := make(map[op.ObjectID][]byte, len(initial))
+	//lint:ignore replaydeterminism map copy; resulting map identical in any order
 	for k, v := range initial {
 		state[k] = append([]byte(nil), v...)
 	}
@@ -243,6 +246,7 @@ func (ig *Graph) ValueAfter(reg *op.Registry, I PrefixSet, initial map[op.Object
 		if err != nil {
 			return nil, fmt.Errorf("installgraph: replaying %s: %w", o, err)
 		}
+		//lint:ignore replaydeterminism one operation's writes have distinct keys; apply order cannot matter
 		for x, v := range writes {
 			state[x] = v
 		}
@@ -350,6 +354,7 @@ func (ig *Graph) MinimalUninstalled(I PrefixSet) []op.SI {
 // result would not be a prefix set, which signals a harness bug.
 func (ig *Graph) Extend(I PrefixSet, lsn op.SI) PrefixSet {
 	out := make(PrefixSet, len(I)+1)
+	//lint:ignore replaydeterminism set copy; resulting map identical in any order
 	for l := range I {
 		out[l] = true
 	}

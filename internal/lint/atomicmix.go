@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic in one
+// place and through plain loads or stores in another.  Mixed access is a
+// data race the race detector only catches when both sides execute in the
+// same run — the parallel-redo I/O counters are exactly the kind of field
+// where a plain `s.count++` next to `atomic.AddInt64(&s.count, 1)` can sit
+// latent for months.  Fields of the atomic.Int64-style wrapper types cannot
+// be misused this way; this analyzer covers the pointer-based legacy API.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flags fields accessed via sync/atomic in one place and by plain " +
+		"load/store elsewhere in the same package",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) error {
+	// Pass 1: every field whose address is taken inside a sync/atomic call
+	// argument, plus the exact selector nodes so pass 2 can skip them.
+	atomicFields := make(map[*types.Var]ast.Node) // field -> one atomic-use site
+	atomicUses := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(p.Info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field, _ := fieldSelection(p.Info, sel); field != nil {
+					atomicFields[field] = call
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector resolving to one of those fields is a
+	// plain (racy) access.  Composite-literal keys are identifiers, not
+	// selectors, so pre-publication initialization does not trip this.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			field, _ := fieldSelection(p.Info, sel)
+			if field == nil {
+				return true
+			}
+			if _, mixed := atomicFields[field]; mixed {
+				p.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere in this package; "+
+						"this plain access races with it", field.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package atomicmix
+
+// report reads hits with a plain load while recordHit updates it atomically.
+func (c *counters) report() int64 {
+	return c.hits // want "races"
+}
+
+// reset stores plainly over the same atomically-updated field.
+func (c *counters) reset() {
+	c.hits = 0 // want "races"
+}

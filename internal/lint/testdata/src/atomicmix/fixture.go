@@ -1,0 +1,23 @@
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+// recordHit establishes hits as an atomically-accessed field.
+func (c *counters) recordHit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// hitCount reads it atomically too: consistent, no finding.
+func (c *counters) hitCount() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// recordMiss uses plain access on a field that is plain everywhere: fine.
+func (c *counters) recordMiss() {
+	c.misses++
+}

@@ -1,0 +1,12 @@
+package directive
+
+type Log struct{}
+
+func (l *Log) Force() error { return nil }
+
+// MissingReason's directive has no reason, so it is reported and does not
+// suppress the dropped-error finding beneath it.
+func MissingReason(l *Log) {
+	//lint:ignore forcecheck
+	l.Force()
+}

@@ -1,0 +1,10 @@
+package forcecheck
+
+// DropAll discards durability errors four different ways.
+func DropAll(l *Log, s *Store) {
+	l.Force()         // want "error from Log.Force is dropped"
+	l.ForceThrough(7) // want "error from Log.ForceThrough is dropped"
+	_ = s.FlushAll()  // want "assigned to _"
+	go l.Force()      // want "started with go"
+	defer l.Force()   // want "deferred Log.Force"
+}

@@ -1,0 +1,18 @@
+// Package forcecheck models durability-critical methods by name and
+// signature; the analyzer keys on method name plus a trailing error result.
+package forcecheck
+
+type Log struct{}
+
+func (l *Log) Force() error                  { return nil }
+func (l *Log) ForceThrough(lsn uint64) error { return nil }
+
+type Store struct{}
+
+func (s *Store) FlushAll() error { return nil }
+
+// Truncate returns nothing, so dropping it cannot drop an error.
+func (s *Store) Truncate() {}
+
+// Force as a free function carries no durability obligation.
+func Force() error { return nil }

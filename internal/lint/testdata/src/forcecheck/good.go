@@ -1,0 +1,22 @@
+package forcecheck
+
+// Checked observes every durability error.
+func Checked(l *Log, s *Store) error {
+	if err := l.Force(); err != nil {
+		return err
+	}
+	if err := s.FlushAll(); err != nil {
+		return err
+	}
+	return l.ForceThrough(3)
+}
+
+// NoError drops a critical-named method with no error result: nothing to drop.
+func NoError(s *Store) {
+	s.Truncate()
+}
+
+// FreeFunc drops a free function's error; only methods carry the obligation.
+func FreeFunc() {
+	Force()
+}

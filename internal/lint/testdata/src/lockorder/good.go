@@ -1,0 +1,26 @@
+package lockorder
+
+// ForwardOrder acquires strictly down the documented hierarchy.
+func ForwardOrder(e *Engine, m *Manager, l *Log) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m.wgMu.Lock()
+	defer m.wgMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}
+
+// SequentialHold releases one lock before taking the next, so no pair is
+// ever held together.
+func SequentialHold(m *Manager, sh *tableShard) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	m.wgMu.Lock()
+	m.wgMu.Unlock()
+}
+
+// ReadPath pairs RLock with a deferred RUnlock.
+func ReadPath(sh *tableShard) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+}

@@ -1,0 +1,18 @@
+package logrecpurity
+
+import "logicallog/internal/wal"
+
+// Rewrite mutates a decoded record's header in place.
+func Rewrite(r *wal.Record) {
+	r.LSN = 0 // want "mutation through a wal.Record"
+}
+
+// Patch mutates the logged parameter bytes the record aliases.
+func Patch(r *wal.Record, b byte) {
+	r.Op.Params[0] = b // want "mutation through a wal.Record"
+}
+
+// Zero overwrites the record through its pointer.
+func Zero(r *wal.Record) {
+	*r = wal.Record{} // want "mutation through a wal.Record"
+}

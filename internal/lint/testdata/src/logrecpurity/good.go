@@ -1,0 +1,24 @@
+package logrecpurity
+
+import (
+	"logicallog/internal/op"
+	"logicallog/internal/wal"
+)
+
+// Read only inspects the record.
+func Read(r *wal.Record) op.SI {
+	return r.LSN
+}
+
+// Rebind reassigns the variable, which is not a mutation of the record.
+func Rebind(r *wal.Record, other *wal.Record) *wal.Record {
+	r = other
+	return r
+}
+
+// CloneThenMutate is the sanctioned pattern: copy first, change the copy.
+func CloneThenMutate(r *wal.Record) *op.Operation {
+	o := r.Op.Clone()
+	o.LSN = 42
+	return o
+}

@@ -1,0 +1,30 @@
+package replaydeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ChainOrder feeds map iteration order straight into a replay ordering.
+func ChainOrder(chains map[int][]int) []int {
+	var order []int
+	for id := range chains { // want "range over map"
+		order = append(order, id)
+	}
+	return order
+}
+
+// Stamp lets wall-clock time into replay-ordering code.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// Jitter draws from the unseeded global RNG.
+func Jitter() int {
+	return rand.Intn(8) // want "unseeded"
+}
+
+// Shuffle uses the global RNG through a different entry point.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "unseeded"
+}

@@ -1,0 +1,33 @@
+package replaydeterminism
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SeededJitter carries an explicit seed: methods on *rand.Rand are fine.
+func SeededJitter(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// SliceOrder ranges over a slice, which is deterministic.
+func SliceOrder(ids []int) []int {
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SortedChainOrder shows the sanctioned pattern: snapshot the keys, sort,
+// then iterate.  The collection range itself is order-independent and says so.
+func SortedChainOrder(chains map[int][]int) []int {
+	order := make([]int, 0, len(chains))
+	//lint:ignore replaydeterminism key collection is order-independent; sorted below
+	for id := range chains {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+	return order
+}

@@ -1,0 +1,27 @@
+package suppress
+
+type Log struct{}
+
+func (l *Log) Force() error { return nil }
+
+// LeadingDirective suppresses the finding from the line above it.
+func LeadingDirective(l *Log) {
+	//lint:ignore forcecheck fixture teardown does not care about durability
+	l.Force()
+}
+
+// TrailingDirective suppresses from the same line.
+func TrailingDirective(l *Log) {
+	l.Force() //lint:ignore forcecheck fixture teardown does not care about durability
+}
+
+// WrongName names a different analyzer, so the finding survives.
+func WrongName(l *Log) {
+	//lint:ignore lockorder wrong analyzer name must not suppress forcecheck
+	l.Force() // want "dropped"
+}
+
+// Unsuppressed has no directive at all.
+func Unsuppressed(l *Log) {
+	l.Force() // want "dropped"
+}

@@ -139,6 +139,7 @@ func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 	// object table.  With an empty table nothing needs redo, but scanning
 	// from the end is still performed so counters stay meaningful.
 	redoStart := log.NextLSN()
+	//lint:ignore replaydeterminism commutative min-fold
 	for _, rsi := range dot {
 		if rsi < redoStart {
 			redoStart = rsi

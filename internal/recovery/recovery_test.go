@@ -110,7 +110,9 @@ func TestVSISkipsInstalledOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	exec(t, eng, op.NewPhysioWrite("X", op.FuncAppend, []byte("+1")))
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	res, err := eng.Recover()
 	if err != nil {
@@ -168,7 +170,9 @@ func TestRSISkipsUnexposed(t *testing.T) {
 		if _, err := eng.Cache().InstallNode(na); err != nil {
 			t.Fatal(err)
 		}
-		eng.Log().Force()
+		if err := eng.Log().Force(); err != nil {
+			t.Fatal(err)
+		}
 		eng.Crash()
 		res, err := eng.Recover()
 		if err != nil {
@@ -216,7 +220,9 @@ func TestCheckpointShortensAnalysis(t *testing.T) {
 		t.Fatal(err)
 	}
 	exec(t, eng, op.NewPhysicalWrite("X", []byte{99}))
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	res, err := eng.Recover()
 	if err != nil {
@@ -250,7 +256,9 @@ func TestDeletedObjectOpsBypassed(t *testing.T) {
 	if err := eng.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	res, err := eng.Recover()
 	if err != nil {
@@ -279,7 +287,9 @@ func TestRedoAllOnPhysicalLog(t *testing.T) {
 	exec(t, eng, op.NewPhysicalWrite("X", []byte("1")))
 	exec(t, eng, op.NewPhysicalWrite("X", []byte("2")))
 	exec(t, eng, op.NewPhysicalWrite("Y", []byte("3")))
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	res, err := eng.Recover()
 	if err != nil {
@@ -374,7 +384,9 @@ func TestRecoveryIdempotent(t *testing.T) {
 	eng := newEngine(t, core.DefaultOptions())
 	exec(t, eng, op.NewCreate("X", []byte("a")))
 	exec(t, eng, op.NewPhysioWrite("X", op.FuncAppend, []byte("b")))
-	eng.Log().Force()
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
 	eng.Crash()
 	if _, err := eng.Recover(); err != nil {
 		t.Fatal(err)

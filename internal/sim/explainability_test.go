@@ -28,7 +28,7 @@ import (
 func TestStableStateAlwaysExplainable(t *testing.T) {
 	objects := []op.ObjectID{"x", "y", "z"}
 	for _, policy := range []writegraph.Policy{writegraph.PolicyRW, writegraph.PolicyW} {
-		for seed := int64(1); seed <= 40; seed++ {
+		for _, seed := range seeds(t, 1, 41) {
 			strat := cache.StrategyIdentityWrite
 			if policy == writegraph.PolicyW {
 				strat = cache.StrategyShadow

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"flag"
+	"testing"
+)
+
+// seedFlag pins every seed-ranging crash test in this package to a single
+// seed, for reproducing a failure reported as "seed N: ...":
+//
+//	go test ./internal/sim -run TestCrashRecoveryMatrix -seed N
+var seedFlag = flag.Int64("seed", 0, "pin randomized crash tests to this single seed (0 = full range)")
+
+// seeds returns the half-open range [lo, hi) — or only the pinned seed when
+// -seed is set.
+func seeds(t *testing.T, lo, hi int64) []int64 {
+	t.Helper()
+	if *seedFlag != 0 {
+		t.Logf("seed range [%d,%d) pinned to -seed=%d", lo, hi, *seedFlag)
+		return []int64{*seedFlag}
+	}
+	out := make([]int64, 0, hi-lo)
+	for s := lo; s < hi; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// pinnedSeed returns def, or the -seed override when set.
+func pinnedSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	if *seedFlag != 0 {
+		t.Logf("seed %d pinned to -seed=%d", def, *seedFlag)
+		return *seedFlag
+	}
+	return def
+}

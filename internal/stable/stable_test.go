@@ -5,6 +5,15 @@ import (
 	"testing"
 )
 
+// mustWrite is for test setup writes whose success is a precondition, not
+// the behavior under test.
+func mustWrite(t *testing.T, s *Store, entries []Entry, mode BatchMode) {
+	t.Helper()
+	if err := s.WriteBatch(entries, mode); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if ModeSingle.String() != "single" || ModeShadow.String() != "shadow" ||
 		ModeFlushTxn.String() != "flushtxn" || ModeUnsafe.String() != "unsafe" ||
@@ -44,8 +53,8 @@ func TestReadWriteSingle(t *testing.T) {
 
 func TestDelete(t *testing.T) {
 	s := NewStore()
-	s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle)
-	s.WriteBatch([]Entry{{ID: "X", Delete: true}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "X", Val: []byte("v")}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "X", Delete: true}}, ModeSingle)
 	if s.Contains("X") {
 		t.Error("delete failed")
 	}
@@ -53,8 +62,8 @@ func TestDelete(t *testing.T) {
 
 func TestIDs(t *testing.T) {
 	s := NewStore()
-	s.WriteBatch([]Entry{{ID: "b"}}, ModeSingle)
-	s.WriteBatch([]Entry{{ID: "a"}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "b"}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "a"}}, ModeSingle)
 	ids := s.IDs()
 	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
 		t.Errorf("IDs = %v", ids)
@@ -63,8 +72,8 @@ func TestIDs(t *testing.T) {
 
 func TestShadowAtomicity(t *testing.T) {
 	s := NewStore()
-	s.WriteBatch([]Entry{{ID: "X", Val: []byte("old"), VSI: 1}}, ModeSingle)
-	s.WriteBatch([]Entry{{ID: "Y", Val: []byte("old"), VSI: 1}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "X", Val: []byte("old"), VSI: 1}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "Y", Val: []byte("old"), VSI: 1}}, ModeSingle)
 	s.ResetStats()
 
 	// Crash during shadow phase: old state fully intact.
@@ -105,8 +114,8 @@ func TestShadowAtomicity(t *testing.T) {
 
 func TestFlushTxnCommitRepair(t *testing.T) {
 	s := NewStore()
-	s.WriteBatch([]Entry{{ID: "X", Val: []byte("old")}}, ModeSingle)
-	s.WriteBatch([]Entry{{ID: "Y", Val: []byte("old")}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "X", Val: []byte("old")}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "Y", Val: []byte("old")}}, ModeSingle)
 
 	// Crash before commit (during value logging): old state, no pending.
 	s.FailAfterWrites(1)
@@ -173,8 +182,8 @@ func TestFlushTxnCosts(t *testing.T) {
 
 func TestUnsafeTornWrite(t *testing.T) {
 	s := NewStore()
-	s.WriteBatch([]Entry{{ID: "X", Val: []byte("old")}}, ModeSingle)
-	s.WriteBatch([]Entry{{ID: "Y", Val: []byte("old")}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "X", Val: []byte("old")}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "Y", Val: []byte("old")}}, ModeSingle)
 	s.FailAfterWrites(1)
 	err := s.WriteBatch([]Entry{
 		{ID: "X", Val: []byte("new")},
@@ -208,10 +217,10 @@ func TestFailAfterZero(t *testing.T) {
 
 func TestSnapshotRestore(t *testing.T) {
 	s := NewStore()
-	s.WriteBatch([]Entry{{ID: "X", Val: []byte("v1"), VSI: 7}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "X", Val: []byte("v1"), VSI: 7}}, ModeSingle)
 	snap := s.Snapshot()
-	s.WriteBatch([]Entry{{ID: "X", Val: []byte("v2"), VSI: 9}}, ModeSingle)
-	s.WriteBatch([]Entry{{ID: "Y", Val: []byte("y")}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "X", Val: []byte("v2"), VSI: 9}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "Y", Val: []byte("y")}}, ModeSingle)
 	s.Restore(snap)
 	v, err := s.Read("X")
 	if err != nil || string(v.Val) != "v1" || v.VSI != 7 {
@@ -230,7 +239,7 @@ func TestSnapshotRestore(t *testing.T) {
 
 func TestReadCounting(t *testing.T) {
 	s := NewStore()
-	s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle)
+	mustWrite(t, s, []Entry{{ID: "X", Val: []byte("v")}}, ModeSingle)
 	s.ResetStats()
 	s.Read("X")
 	s.Read("X")

@@ -234,7 +234,9 @@ func TestCrashLosesTailAndRestartResumes(t *testing.T) {
 	l, _ := New(dev)
 	mustAppend(t, l, NewFlushRecord("A", 1))
 	mustAppend(t, l, NewFlushRecord("B", 2))
-	l.ForceThrough(1)
+	if err := l.ForceThrough(1); err != nil {
+		t.Fatal(err)
+	}
 	l.Crash()
 
 	// Restart over the same device.
@@ -257,7 +259,9 @@ func TestTornTailStopsScan(t *testing.T) {
 	l, _ := New(dev)
 	mustAppend(t, l, NewFlushRecord("A", 1))
 	mustAppend(t, l, NewFlushRecord("B", 2))
-	l.Force()
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
 	dev.CorruptTail(5) // tear the last frame
 	sc, _ := l.Scan(0)
 	recs, err := sc.All()
@@ -282,7 +286,9 @@ func TestTruncate(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		mustAppend(t, l, NewFlushRecord("X", op.SI(i)))
 	}
-	l.Force()
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
 	if err := l.Truncate(4); err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +315,9 @@ func TestLastCheckpoint(t *testing.T) {
 	mustAppend(t, l, NewCheckpointRecord([]DirtyEntry{{ID: "a", RSI: 1}}))
 	mustAppend(t, l, NewFlushRecord("a", 1))
 	second := mustAppend(t, l, NewCheckpointRecord([]DirtyEntry{{ID: "b", RSI: 2}}))
-	l.Force()
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
 	cp, err := l.LastCheckpoint()
 	if err != nil {
 		t.Fatal(err)
@@ -445,12 +453,16 @@ func TestRandomCrashRestartConsistency(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			switch rng.Intn(5) {
 			case 0:
-				l.Force()
+				if err := l.Force(); err != nil {
+					t.Fatal(err)
+				}
 				forced = op.SI(appended)
 			case 1:
 				if appended > 0 {
 					upTo := op.SI(1 + rng.Intn(appended))
-					l.ForceThrough(upTo)
+					if err := l.ForceThrough(upTo); err != nil {
+						t.Fatal(err)
+					}
 					if upTo > forced {
 						forced = upTo
 					}

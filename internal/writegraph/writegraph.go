@@ -65,6 +65,7 @@ type node struct {
 
 func (n *node) notx() []op.ObjectID {
 	var out []op.ObjectID
+	//lint:ignore replaydeterminism membership filter is order-independent; canonicalized below
 	for x := range n.writes {
 		if _, ok := n.vars[x]; !ok {
 			out = append(out, x)
@@ -123,6 +124,7 @@ func (wg *Graph) Len() int { return len(wg.nodes) }
 // OpCount returns the number of uninstalled operations across all nodes.
 func (wg *Graph) OpCount() int {
 	n := 0
+	//lint:ignore replaydeterminism commutative sum
 	for _, nd := range wg.nodes {
 		n += len(nd.ops)
 	}
@@ -165,6 +167,7 @@ func (wg *Graph) addOpW(o *op.Operation) (graph.NodeID, error) {
 	var mergeIDs []graph.NodeID
 	seen := map[graph.NodeID]struct{}{}
 	for _, x := range o.WriteSet {
+		//lint:ignore replaydeterminism collects a merge set; mergeInto sorts it before picking the survivor
 		for id, nd := range wg.nodes {
 			if _, ok := nd.writes[x]; ok {
 				if _, dup := seen[id]; !dup {
@@ -248,6 +251,7 @@ func (wg *Graph) addOpRW(o *op.Operation) (graph.NodeID, error) {
 		// must install before p so that x is truly unexposed when p's vars
 		// are flushed without x.
 		if wg.lastWriter[x] == pid {
+			//lint:ignore replaydeterminism edge-set insertion; the digraph coalesces edges, so order cannot matter
 			for qid := range wg.readersOfLast[x] {
 				if qid != pid && wg.g.HasNode(qid) {
 					wg.g.AddEdge(qid, pid)
@@ -262,11 +266,14 @@ func (wg *Graph) addOpRW(o *op.Operation) (graph.NodeID, error) {
 
 // readWritePredecessors returns ids of nodes containing operations that read
 // any object o writes — installation read-write edges point from them to
-// o's node.
+// o's node.  The result is sorted: downstream consumers only build edge
+// sets today, but the predecessor list must not leak map-iteration order
+// into anything replay-visible.
 func (wg *Graph) readWritePredecessors(o *op.Operation) []graph.NodeID {
 	var out []graph.NodeID
 	seen := map[graph.NodeID]struct{}{}
 	for _, x := range o.WriteSet {
+		//lint:ignore replaydeterminism membership filter is order-independent; sorted below
 		for id, nd := range wg.nodes {
 			if _, ok := nd.reads[x]; ok {
 				if _, dup := seen[id]; !dup {
@@ -276,6 +283,7 @@ func (wg *Graph) readWritePredecessors(o *op.Operation) []graph.NodeID {
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -309,19 +317,23 @@ func (wg *Graph) mergeInto(ids []graph.NodeID) *node {
 func (wg *Graph) absorb(survivor *node, id graph.NodeID) {
 	victim := wg.nodes[id]
 	survivor.ops = mergeOps(survivor.ops, victim.ops)
+	//lint:ignore replaydeterminism set union; resulting maps identical in any order
 	for x := range victim.vars {
 		survivor.vars[x] = struct{}{}
 		wg.byVar[x] = survivor.id
 	}
+	//lint:ignore replaydeterminism set union; resulting maps identical in any order
 	for x := range victim.reads {
 		survivor.reads[x] = struct{}{}
 	}
+	//lint:ignore replaydeterminism set union; resulting maps identical in any order
 	for x := range victim.writes {
 		survivor.writes[x] = struct{}{}
 		if wg.lastWriter[x] == id {
 			wg.lastWriter[x] = survivor.id
 		}
 	}
+	//lint:ignore replaydeterminism commutative max-fold per key
 	for x, l := range victim.lastw {
 		if l > survivor.lastw[x] {
 			survivor.lastw[x] = l
@@ -341,6 +353,7 @@ func (wg *Graph) absorb(survivor *node, id graph.NodeID) {
 	wg.g.RemoveNode(id)
 	delete(wg.nodes, id)
 	// Re-point reader registries.
+	//lint:ignore replaydeterminism independent per-entry re-point; final maps identical in any order
 	for _, readers := range wg.readersOfLast {
 		if _, ok := readers[id]; ok {
 			delete(readers, id)
@@ -454,6 +467,7 @@ func (wg *Graph) view(nd *node) *NodeView {
 		Writes: setToSlice(nd.writes),
 		Lastw:  make(map[op.ObjectID]op.SI, len(nd.lastw)),
 	}
+	//lint:ignore replaydeterminism map copy; resulting map identical in any order
 	for x, l := range nd.lastw {
 		v.Lastw[x] = l
 	}
@@ -463,6 +477,7 @@ func (wg *Graph) view(nd *node) *NodeView {
 // Nodes returns snapshots of all nodes, ordered by id.
 func (wg *Graph) Nodes() []*NodeView {
 	ids := make([]graph.NodeID, 0, len(wg.nodes))
+	//lint:ignore replaydeterminism key collection is order-independent; sorted below
 	for id := range wg.nodes {
 		ids = append(ids, id)
 	}
@@ -487,6 +502,7 @@ func (wg *Graph) NodeOf(x op.ObjectID) (graph.NodeID, bool) {
 // NodeOfOp returns the id of the node containing the operation with the
 // given LSN, if any.
 func (wg *Graph) NodeOfOp(lsn op.SI) (graph.NodeID, bool) {
+	//lint:ignore replaydeterminism an LSN lives in exactly one node, so at most one iteration matches
 	for id, nd := range wg.nodes {
 		for _, o := range nd.ops {
 			if o.LSN == lsn {
@@ -513,17 +529,20 @@ func (wg *Graph) Remove(id graph.NodeID) (*NodeView, error) {
 		return nil, fmt.Errorf("writegraph: node %d is not minimal (in-degree %d)", id, wg.g.InDegree(id))
 	}
 	v := wg.view(nd)
+	//lint:ignore replaydeterminism independent per-key deletes; final maps identical in any order
 	for x := range nd.vars {
 		if wg.byVar[x] == id {
 			delete(wg.byVar, x)
 		}
 	}
+	//lint:ignore replaydeterminism independent per-key deletes; final maps identical in any order
 	for x, w := range wg.lastWriter {
 		if w == id {
 			delete(wg.lastWriter, x)
 			delete(wg.readersOfLast, x)
 		}
 	}
+	//lint:ignore replaydeterminism independent per-entry deletes; final maps identical in any order
 	for _, readers := range wg.readersOfLast {
 		delete(readers, id)
 	}
@@ -576,10 +595,12 @@ func (wg *Graph) Validate() error {
 		return fmt.Errorf("writegraph: graph has a cycle after collapse")
 	}
 	seen := map[op.ObjectID]graph.NodeID{}
+	//lint:ignore replaydeterminism invariant scan; any violation fails, which one is reported is immaterial
 	for id, nd := range wg.nodes {
 		if !wg.g.HasNode(id) {
 			return fmt.Errorf("writegraph: node %d missing from digraph", id)
 		}
+		//lint:ignore replaydeterminism invariant scan; any violation fails, which one is reported is immaterial
 		for x := range nd.vars {
 			if prev, dup := seen[x]; dup {
 				return fmt.Errorf("writegraph: object %q in vars of nodes %d and %d", x, prev, id)
@@ -596,6 +617,7 @@ func (wg *Graph) Validate() error {
 			return fmt.Errorf("writegraph: W node %d has vars ⊂ Writes (%d < %d)", id, len(nd.vars), len(nd.writes))
 		}
 	}
+	//lint:ignore replaydeterminism invariant scan; any violation fails, which one is reported is immaterial
 	for x, id := range wg.byVar {
 		nd, ok := wg.nodes[id]
 		if !ok {
@@ -612,6 +634,7 @@ func (wg *Graph) Validate() error {
 // statistic experiments E3/E4 report.
 func (wg *Graph) FlushSetSizes() []int {
 	out := make([]int, 0, len(wg.nodes))
+	//lint:ignore replaydeterminism size collection is order-independent; sorted below
 	for _, nd := range wg.nodes {
 		out = append(out, len(nd.vars))
 	}
@@ -621,6 +644,7 @@ func (wg *Graph) FlushSetSizes() []int {
 
 func setToSlice(m map[op.ObjectID]struct{}) []op.ObjectID {
 	out := make([]op.ObjectID, 0, len(m))
+	//lint:ignore replaydeterminism key collection is order-independent; canonicalized below
 	for x := range m {
 		out = append(out, x)
 	}

@@ -222,7 +222,9 @@ func TestRedoAllOption(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		db.Set("p", []byte(fmt.Sprintf("v%d", i)))
 	}
-	db.Sync()
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	db.Crash()
 	rep, err := db.Recover()
 	if err != nil {
