@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	llrun [-steps N] [-seed S] [-wal path] [-physio] [-w] [-vsi]
+//	llrun [-steps N] [-seed S] [-wal path] [-physio] [-w] [-vsi] [-faults token]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 
 	"logicallog/internal/cache"
 	"logicallog/internal/core"
+	"logicallog/internal/fault"
 	"logicallog/internal/recovery"
 	"logicallog/internal/sim"
 	"logicallog/internal/wal"
@@ -29,7 +31,14 @@ func main() {
 	classicW := flag.Bool("w", false, "use the classic write graph W instead of rW")
 	vsi := flag.Bool("vsi", false, "use the classic vSI REDO test instead of generalized rSIs")
 	redoWorkers := flag.Int("redo-workers", 0, "parallel redo worker count (0 = GOMAXPROCS, 1 = serial)")
+	faults := flag.String("faults", "", `fault plan token, e.g. "wal@17:torn=3+stable@4:eio" (see internal/fault)`)
 	flag.Parse()
+
+	points, err := fault.ParseToken(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	plan := fault.NewPlan(points...)
 
 	opts := core.DefaultOptions()
 	opts.Physiological = *physio
@@ -51,19 +60,24 @@ func main() {
 		fatal(err)
 	}
 	defer dev.Close()
-	opts.LogDevice = dev
+	opts.LogDevice = plan.WrapDevice(dev)
 
 	eng, err := core.New(opts)
 	if err != nil {
 		fatal(err)
 	}
+	eng.Store().SetWriteProbe(plan.StableProbe())
 	sc := sim.DefaultScenario(*seed)
 	sc.Steps = *steps
 
 	fmt.Printf("running %d-step workload (seed %d, policy %v, physiological %v)...\n",
 		sc.Steps, sc.Seed, opts.Policy, opts.Physiological)
 	if err := sim.DriveWorkload(eng, sc); err != nil {
-		fatal(err)
+		if !errors.Is(err, fault.ErrInjected) && !wal.IsTransient(err) {
+			fatal(err)
+		}
+		fmt.Printf("workload stopped by injected fault: %v\n", err)
+		fmt.Printf("  repro token: %s\n", plan.Token())
 	}
 	st := eng.Stats()
 	fmt.Printf("  log:   %d bytes appended (%d bytes of data values)\n", st.Log.BytesAppended, st.Log.ValueBytes)
@@ -71,9 +85,9 @@ func main() {
 	fmt.Printf("  cache: %d installs, %d identity writes, %d installed-without-flush\n",
 		st.Cache.Installs, st.Cache.IdentityWrites, st.Cache.InstalledNotFlushed)
 
-	horizon := eng.Log().StableLSN()
-	fmt.Printf("crashing (stable LSN %d, losing unforced tail)...\n", horizon)
+	fmt.Printf("crashing (stable LSN %d, losing unforced tail)...\n", eng.Log().StableLSN())
 	eng.Crash()
+	plan.Heal()
 
 	res, err := eng.Recover()
 	if err != nil {
@@ -81,6 +95,10 @@ func main() {
 	}
 	fmt.Printf("recovered: scanned %d ops from LSN %d; redone %d, skipped %d installed / %d unexposed, voided %d\n",
 		res.ScannedOps, res.RedoStart, res.Redone, res.SkippedInstalled, res.SkippedUnexposed, res.Voided)
+	// The durable horizon is what recovery re-derived: an injected torn,
+	// flipped, or reordered final append trims the log below the pre-crash
+	// acked horizon, and a written-but-unacked tail can raise it.
+	horizon := eng.Log().StableLSN()
 
 	if err := sim.VerifyAgainstOracle(eng, horizon); err != nil {
 		fatal(fmt.Errorf("verification FAILED: %w", err))

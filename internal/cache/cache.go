@@ -17,6 +17,7 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+	"time"
 
 	"logicallog/internal/graph"
 	"logicallog/internal/op"
@@ -68,7 +69,18 @@ type Config struct {
 	// InstallTrace, when non-nil, receives a snapshot of every installed
 	// write-graph node (debug and inspection use only).
 	InstallTrace func(view *writegraph.NodeView)
+	// TransientRetries bounds how many times an install retries a stable
+	// batch that failed with a transient (retryable) I/O error — see
+	// wal.IsTransient.  Zero disables retry.
+	TransientRetries int
 }
+
+// Transient-retry backoff bounds for stable-store batches.  The simulated
+// store has no real latency, so these only pace the retry loop.
+const (
+	transientRetryBase = 20 * time.Microsecond
+	transientRetryCap  = 500 * time.Microsecond
+)
 
 // Stats counts cache-manager activity.
 type Stats struct {
@@ -546,7 +558,18 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 		m.statsMu.Unlock()
 	}
 	if len(entries) > 0 {
-		if err := m.store.WriteBatch(entries, mode); err != nil {
+		err := m.store.WriteBatch(entries, mode)
+		// Transient device errors retry the whole batch with capped
+		// backoff.  Re-running is safe in every mode: a failed attempt
+		// left either the old state (single/shadow, pre-commit flush-txn)
+		// or a committed pending repair that the retry's phase 1 simply
+		// re-logs; unsafe torn prefixes are overwritten by the identical
+		// values.
+		for attempt := 1; err != nil && attempt <= m.cfg.TransientRetries && wal.IsTransient(err); attempt++ {
+			time.Sleep(wal.TransientBackoff(attempt, transientRetryBase, transientRetryCap))
+			err = m.store.WriteBatch(entries, mode)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}

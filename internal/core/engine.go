@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"logicallog/internal/cache"
 	"logicallog/internal/op"
@@ -45,7 +46,15 @@ type Options struct {
 	// RedoWorkers bounds the parallel redo pass's worker pool during
 	// Recover.  0 defaults to runtime.GOMAXPROCS(0); 1 forces serial redo.
 	RedoWorkers int
+	// TransientRetries bounds retries of log forces and stable flushes
+	// that fail with a transient (retryable) I/O error, with capped
+	// exponential backoff.  0 defaults to 3; negative disables retry.
+	TransientRetries int
 }
+
+// defaultTransientRetries is the retry budget when Options leaves
+// TransientRetries zero.
+const defaultTransientRetries = 3
 
 // DefaultOptions returns the paper's recommended configuration: refined
 // write graph, identity-write flush breakup, generalized rSI REDO test, and
@@ -84,10 +93,17 @@ func New(opts Options) (*Engine, error) {
 	if opts.LogDevice == nil {
 		opts.LogDevice = wal.NewMemDevice()
 	}
+	switch {
+	case opts.TransientRetries == 0:
+		opts.TransientRetries = defaultTransientRetries
+	case opts.TransientRetries < 0:
+		opts.TransientRetries = 0
+	}
 	log, err := wal.New(opts.LogDevice)
 	if err != nil {
 		return nil, err
 	}
+	log.SetRetryPolicy(opts.TransientRetries, 20*time.Microsecond, 500*time.Microsecond)
 	e := &Engine{opts: opts, reg: opts.Registry, log: log, store: stable.NewStore()}
 	e.mgr, err = cache.NewManager(e.cacheConfig(), log, e.store)
 	if err != nil {
@@ -98,11 +114,12 @@ func New(opts Options) (*Engine, error) {
 
 func (e *Engine) cacheConfig() cache.Config {
 	return cache.Config{
-		Policy:       e.opts.Policy,
-		Strategy:     e.opts.Strategy,
-		LogInstalls:  e.opts.LogInstalls,
-		Registry:     e.reg,
-		InstallTrace: e.opts.InstallTrace,
+		Policy:           e.opts.Policy,
+		Strategy:         e.opts.Strategy,
+		LogInstalls:      e.opts.LogInstalls,
+		Registry:         e.reg,
+		InstallTrace:     e.opts.InstallTrace,
+		TransientRetries: e.opts.TransientRetries,
 	}
 }
 
@@ -207,6 +224,16 @@ func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	_, err := e.mgr.CheckpointAndTruncate()
+	return err
+}
+
+// CheckpointOnly writes (and forces) a checkpoint record without truncating
+// the log.  The crash-schedule explorer uses it so its oracle can still
+// replay the full durable history from the run's initial snapshot.
+func (e *Engine) CheckpointOnly() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := e.mgr.Checkpoint()
 	return err
 }
 

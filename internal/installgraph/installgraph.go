@@ -218,25 +218,29 @@ func (ig *Graph) LastWriter(I PrefixSet, x op.ObjectID) op.SI {
 	return last
 }
 
-// ValueAfter computes the value of every object after executing exactly the
-// operations of I in conflict order, starting from initial state (nil
-// values).  This is the paper's "the value of x after the last operation of
-// I"; because I is a prefix set and installation order embeds all read-write
-// dependencies, executing I in conflict order is well-defined whenever I is
-// a prefix set of a history that itself executed from the initial state.
+// ValueAfter computes, for every object, the paper's "value of x after the
+// last operation of I that writes x": the value that operation produced in
+// the history's execution, or the initial value if no operation of I writes
+// x.
 //
 // The initial parameter supplies pre-history object values (objects loaded
 // before logging began).
 func (ig *Graph) ValueAfter(reg *op.Registry, I PrefixSet, initial map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
+	// An operation's effects are pinned to the values it produced in the
+	// history's own execution: because write-read edges are discarded, a
+	// prefix set may contain a reader without the writer it read, and the
+	// reader's installed values embed the writer's effects regardless (see
+	// the package comment).  So replay the FULL history from the initial
+	// state, and project out, per object, the value written by the last
+	// operation of I that writes it.
 	state := make(map[op.ObjectID][]byte, len(initial))
-	//lint:ignore replaydeterminism map copy; resulting map identical in any order
+	result := make(map[op.ObjectID][]byte, len(initial))
+	//lint:ignore replaydeterminism map copy; resulting maps identical in any order
 	for k, v := range initial {
 		state[k] = append([]byte(nil), v...)
+		result[k] = append([]byte(nil), v...)
 	}
 	for _, l := range ig.order {
-		if !I[l] {
-			continue
-		}
 		o := ig.ops[l]
 		reads := make(map[op.ObjectID][]byte, len(o.ReadSet))
 		for _, x := range o.ReadSet {
@@ -249,9 +253,12 @@ func (ig *Graph) ValueAfter(reg *op.Registry, I PrefixSet, initial map[op.Object
 		//lint:ignore replaydeterminism one operation's writes have distinct keys; apply order cannot matter
 		for x, v := range writes {
 			state[x] = v
+			if I[l] {
+				result[x] = v
+			}
 		}
 	}
-	return state, nil
+	return result, nil
 }
 
 // Explains reports whether prefix set I explains state S: for every object x

@@ -116,6 +116,14 @@ type dirtyTable map[op.ObjectID]op.SI
 func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 	res := &Result{}
 
+	// Restart the log over its device first, as a process restart would:
+	// trim the untrustworthy debris of a torn, bit-flipped, or reordered
+	// final append, and re-derive the LSN horizon from the durable log so
+	// post-recovery appends keep it gap-free (see wal.Log.Restart).
+	if err := log.Restart(); err != nil {
+		return nil, err
+	}
+
 	// Step 0: finish any committed-but-interrupted flush transaction, as
 	// restart processing replays the flush-transaction log.
 	if store.HasPending() {

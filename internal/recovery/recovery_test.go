@@ -5,6 +5,7 @@ import (
 
 	"logicallog/internal/cache"
 	"logicallog/internal/core"
+	"logicallog/internal/fault"
 	"logicallog/internal/op"
 	. "logicallog/internal/recovery"
 	"logicallog/internal/stable"
@@ -353,8 +354,9 @@ func TestRecoverRepairsPendingFlushTxn(t *testing.T) {
 
 	// The three ops collapse to one node with vars {X,Y}.  Crash after the
 	// flush transaction committed (2 log writes + commit) but before the
-	// in-place writes completed.
-	eng.Store().FailAfterWrites(3)
+	// in-place writes completed: that is the batch's 4th write (index 3).
+	plan := fault.NewPlan(fault.Point{Chan: fault.ChanStable, Index: 3, Kind: fault.KindCrash})
+	eng.Store().SetWriteProbe(plan.StableProbe())
 	err := eng.FlushAll()
 	if err == nil {
 		t.Fatal("expected injected crash")
@@ -363,6 +365,7 @@ func TestRecoverRepairsPendingFlushTxn(t *testing.T) {
 		t.Fatal("no pending flush transaction")
 	}
 	eng.Crash()
+	plan.Heal()
 	res, err := eng.Recover()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,542 @@
+// Crash-schedule exploration: run one deterministic scripted workload to
+// count its I/O boundaries, then re-run it once per boundary with a fault
+// injected exactly there — a hard crash, a torn or bit-flipped append, a
+// reordered batch write, a transient EIO — recover, and check the recovered
+// state against the re-execution oracle and (where anchored) the paper's
+// explainable-state predicate.  Every failure carries a replayable repro
+// token (see fault.Plan).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"logicallog/internal/cache"
+	"logicallog/internal/core"
+	"logicallog/internal/fault"
+	"logicallog/internal/installgraph"
+	"logicallog/internal/op"
+	"logicallog/internal/recovery"
+	"logicallog/internal/wal"
+	"logicallog/internal/writegraph"
+)
+
+// NamedConfig pairs an engine configuration with a stable name usable in
+// repro tokens and -fault.config flags.
+type NamedConfig struct {
+	Name string
+	Opts core.Options
+}
+
+// ExplorerConfigs returns the five configurations the crash-schedule
+// explorer covers: the paper's recommended setup, the classic-W baseline,
+// the flush-transaction strategy, installation logging disabled, and the
+// physiological logging baseline.
+func ExplorerConfigs() []NamedConfig {
+	return []NamedConfig{
+		{"rW-identity-rSI", core.DefaultOptions()},
+		{"W-shadow-vSI", core.Options{
+			Policy: writegraph.PolicyW, Strategy: cache.StrategyShadow,
+			RedoTest: recovery.TestVSI, LogInstalls: true,
+		}},
+		{"rW-flushtxn-vSI", core.Options{
+			Policy: writegraph.PolicyRW, Strategy: cache.StrategyFlushTxn,
+			RedoTest: recovery.TestVSI, LogInstalls: true,
+		}},
+		{"rW-identity-rSI-noinstalls", core.Options{
+			Policy: writegraph.PolicyRW, Strategy: cache.StrategyIdentityWrite,
+			RedoTest: recovery.TestRSI, LogInstalls: false,
+		}},
+		{"physio-vSI", core.Options{
+			Policy: writegraph.PolicyRW, Strategy: cache.StrategyIdentityWrite,
+			RedoTest: recovery.TestVSI, LogInstalls: true, Physiological: true,
+		}},
+	}
+}
+
+// LookupConfig resolves an explorer configuration by name.
+func LookupConfig(name string) (NamedConfig, bool) {
+	for _, c := range ExplorerConfigs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return NamedConfig{}, false
+}
+
+// RogueHook lets a test inject behavior into the scripted workload at a
+// given step — the explorer self-test uses it to plant a deliberately buggy
+// flush the explorer must catch.  A nil hook is a no-op.
+type RogueHook func(step int, eng *core.Engine) error
+
+// ScheduleFailure is one failed crash schedule.
+type ScheduleFailure struct {
+	Config string
+	Token  string
+	Err    error
+}
+
+// Repro returns a shell command replaying exactly this schedule.
+func (f ScheduleFailure) Repro() string {
+	return fmt.Sprintf("go test ./internal/sim -run TestCrashScheduleReplay -fault.config %q -fault.token %q", f.Config, f.Token)
+}
+
+func (f ScheduleFailure) String() string {
+	return fmt.Sprintf("[%s @ %s] %v\n    repro: %s", f.Config, f.Token, f.Err, f.Repro())
+}
+
+// ExploreReport summarizes one configuration's exploration.
+type ExploreReport struct {
+	Config string
+	// WALBoundaries and StableBoundaries count the I/O boundaries of the
+	// fault-free scripted run (the boundary after I/O k is fault index k).
+	WALBoundaries, StableBoundaries int
+	// Schedules counts fault schedules executed (the fault-free counting
+	// run included).
+	Schedules int
+	Failures  []ScheduleFailure
+}
+
+// errHarness marks explorer-infrastructure failures (the script died for a
+// reason other than its injected fault), as opposed to recovery bugs.
+var errHarness = errors.New("sim: explorer harness failure")
+
+// Explore runs the full crash-schedule exploration for one configuration:
+// a fault-free counting run, then one schedule per I/O boundary and fault
+// variant, stepping boundaries by stride (1 = exhaustive).  Schedule
+// failures are collected, not fatal; only a broken harness returns an error.
+func Explore(cfg NamedConfig, stride int, rogue RogueHook) (*ExploreReport, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	rep := &ExploreReport{Config: cfg.Name}
+
+	// Counting run: no faults, full verification.  Its I/O counts define
+	// the boundary space the variants below enumerate.
+	counting := fault.NewPlan()
+	err := runSchedule(cfg, counting, rogue)
+	rep.Schedules++
+	if errors.Is(err, errHarness) {
+		return nil, err
+	}
+	if err != nil {
+		rep.Failures = append(rep.Failures, ScheduleFailure{cfg.Name, counting.Token(), err})
+	}
+	rep.WALBoundaries = counting.Count(fault.ChanWAL)
+	rep.StableBoundaries = counting.Count(fault.ChanStable)
+
+	run := func(pt fault.Point) {
+		plan := fault.NewPlan(pt)
+		rep.Schedules++
+		if err := runSchedule(cfg, plan, rogue); err != nil {
+			rep.Failures = append(rep.Failures, ScheduleFailure{cfg.Name, plan.Token(), err})
+		}
+	}
+	for b := 0; b < rep.WALBoundaries; b += stride {
+		run(fault.Point{Chan: fault.ChanWAL, Index: b, Kind: fault.KindCrash})
+		// Torn tail: a short prefix of the append lands, and separately
+		// the whole append lands but the ack is lost.
+		run(fault.Point{Chan: fault.ChanWAL, Index: b, Kind: fault.KindTorn, Arg: 3})
+		run(fault.Point{Chan: fault.ChanWAL, Index: b, Kind: fault.KindTorn, Arg: 1 << 20})
+		run(fault.Point{Chan: fault.ChanWAL, Index: b, Kind: fault.KindBitFlip, Arg: 13*b + 7})
+		run(fault.Point{Chan: fault.ChanWAL, Index: b, Kind: fault.KindReorder, Arg: b})
+		run(fault.Point{Chan: fault.ChanWAL, Index: b, Kind: fault.KindTransient, Arg: 1})
+	}
+	for b := 0; b < rep.StableBoundaries; b += stride {
+		run(fault.Point{Chan: fault.ChanStable, Index: b, Kind: fault.KindCrash})
+		run(fault.Point{Chan: fault.ChanStable, Index: b, Kind: fault.KindTransient, Arg: 2})
+	}
+	return rep, nil
+}
+
+// ReplaySchedule re-runs one schedule from its repro token.
+func ReplaySchedule(configName, token string) error {
+	cfg, ok := LookupConfig(configName)
+	if !ok {
+		return fmt.Errorf("sim: unknown explorer config %q", configName)
+	}
+	pts, err := fault.ParseToken(token)
+	if err != nil {
+		return err
+	}
+	return runSchedule(cfg, fault.NewPlan(pts...), nil)
+}
+
+// runRecorder observes the scripted run: the initial stable snapshot that
+// anchors the explainability check, and the cumulative installed-LSN sets
+// traced from the cache manager (the natural explanation candidates).
+type runRecorder struct {
+	frozen    bool
+	initial   map[op.ObjectID][]byte
+	installed []op.SI // all LSNs installed so far, in trace order
+	marks     []int   // len(installed) after each install event
+}
+
+func (r *runRecorder) trace(view *writegraph.NodeView) {
+	if r.frozen {
+		return
+	}
+	for _, o := range view.Ops {
+		r.installed = append(r.installed, o.LSN)
+	}
+	r.marks = append(r.marks, len(r.installed))
+}
+
+// runSchedule executes the scripted workload under plan, crashes, heals the
+// plan, recovers, and verifies oracle equivalence plus (when the run got far
+// enough to anchor it) stable-state explainability.
+func runSchedule(cfg NamedConfig, plan *fault.Plan, rogue RogueHook) error {
+	opts := cfg.Opts
+	opts.LogDevice = plan.WrapDevice(wal.NewMemDevice())
+	// Deterministic per-schedule worker count: vary parallel redo across
+	// the schedule space without a nondeterministic seed.
+	opts.RedoWorkers = 1 + len(plan.Token())%4
+	rec := &runRecorder{}
+	opts.InstallTrace = rec.trace
+	eng, err := core.New(opts)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errHarness, err)
+	}
+	eng.Store().SetWriteProbe(plan.StableProbe())
+
+	scriptErr := runExploreScript(eng, rec, rogue)
+	rec.frozen = true
+	// Transient EIOs are normally absorbed by the retry loops, but a script
+	// path without one (e.g. a rogue hook's raw store write) may surface the
+	// fault itself — that is still the injected fault, not a harness bug.
+	if scriptErr != nil && !errors.Is(scriptErr, fault.ErrInjected) && !wal.IsTransient(scriptErr) {
+		return fmt.Errorf("%w: script died without an injected fault: %v", errHarness, scriptErr)
+	}
+	if scriptErr == nil {
+		if un := plan.Unfired(); len(un) > 0 {
+			return fmt.Errorf("%w: script completed but points never fired: %v", errHarness, un)
+		}
+	}
+
+	eng.Crash()
+	plan.Heal()
+	if _, err := eng.Recover(); err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	// The durable horizon is re-derived by recovery (a torn or reordered
+	// final append trims the log below the pre-crash acked horizon).
+	horizon := eng.Log().StableLSN()
+	if err := VerifyAgainstOracle(eng, horizon); err != nil {
+		return err
+	}
+	if rec.initial != nil {
+		if err := checkExplainableState(eng, rec); err != nil {
+			return err
+		}
+	}
+	if err := eng.FlushAll(); err != nil {
+		return fmt.Errorf("post-recovery flush: %w", err)
+	}
+	return VerifyAgainstOracle(eng, horizon)
+}
+
+// Scripted workload parameters.  The script is fully deterministic: the
+// same engine configuration always issues the same I/O sequence, so a fault
+// index from the counting run lands on the same I/O in every variant.
+const (
+	exploreObjects = 8
+	exploreSteps   = 200
+	exploreSeed    = 0x10fa117
+)
+
+// runExploreScript drives the deterministic mixed workload: create and
+// flush a base population, truncate it off the log (anchoring the
+// explainability check), then interleave logical/physiological/physical
+// operations with forces, minimal installs, non-truncating checkpoints,
+// deletes, and re-creates.
+func runExploreScript(eng *core.Engine, rec *runRecorder, rogue RogueHook) error {
+	rng := rand.New(rand.NewSource(exploreSeed))
+	objects := make([]op.ObjectID, exploreObjects)
+	for i := range objects {
+		objects[i] = op.ObjectID(fmt.Sprintf("x%d", i))
+	}
+	live := make([]bool, exploreObjects)
+
+	// Phase 0: base population, flushed and truncated off the log so the
+	// initial values exist only in the stable database (with the blind
+	// creations still on the log, I = {} would explain any state).
+	for i, x := range objects {
+		v := make([]byte, 8)
+		rng.Read(v)
+		if err := eng.Execute(op.NewCreate(x, v)); err != nil {
+			return fmt.Errorf("create %s: %w", x, err)
+		}
+		live[i] = true
+	}
+	if err := eng.FlushAll(); err != nil {
+		return fmt.Errorf("base flush: %w", err)
+	}
+	if err := eng.Checkpoint(); err != nil {
+		return fmt.Errorf("base checkpoint: %w", err)
+	}
+	initial := make(map[op.ObjectID][]byte, exploreObjects)
+	for id, v := range eng.Store().Snapshot() {
+		initial[id] = append([]byte(nil), v.Val...)
+	}
+	rec.initial = initial
+
+	for step := 0; step < exploreSteps; step++ {
+		if rogue != nil {
+			if err := rogue(step, eng); err != nil {
+				return fmt.Errorf("rogue hook at step %d: %w", step, err)
+			}
+		}
+		if step%3 == 1 {
+			if err := eng.Log().Force(); err != nil {
+				return fmt.Errorf("force at step %d: %w", step, err)
+			}
+		}
+		if step%4 == 2 {
+			if err := eng.InstallOne(); err != nil {
+				return fmt.Errorf("install at step %d: %w", step, err)
+			}
+		}
+		if step%29 == 17 {
+			if err := eng.CheckpointOnly(); err != nil {
+				return fmt.Errorf("checkpoint at step %d: %w", step, err)
+			}
+		}
+		if step%43 == 37 {
+			// A full purge drives multi-object stable batches through
+			// whichever flush strategy the configuration uses.
+			if err := eng.FlushAll(); err != nil {
+				return fmt.Errorf("purge at step %d: %w", step, err)
+			}
+		}
+		o := lifecycleOp(rng, objects, live, step)
+		if o == nil {
+			o = exploreOp(rng, objects, live, step)
+		}
+		if o == nil {
+			continue
+		}
+		if err := eng.Execute(o); err != nil {
+			return fmt.Errorf("execute %s at step %d: %w", o, step, err)
+		}
+		for _, w := range o.WriteSet {
+			for i, x := range objects {
+				if x == w {
+					live[i] = o.Kind != op.KindDelete
+				}
+			}
+		}
+	}
+	if err := eng.Log().Force(); err != nil {
+		return fmt.Errorf("final force: %w", err)
+	}
+	return nil
+}
+
+// lifecycleOp occasionally deletes or re-creates an object.  x0 and x1 are
+// never deleted, so exploreOp always has operands.
+func lifecycleOp(rng *rand.Rand, objects []op.ObjectID, live []bool, step int) *op.Operation {
+	switch step % 19 {
+	case 12:
+		liveCount := 0
+		for _, l := range live {
+			if l {
+				liveCount++
+			}
+		}
+		if liveCount <= 4 {
+			return nil
+		}
+		if i := pickIndex(rng, live, true, 2); i >= 0 {
+			return op.NewDelete(objects[i])
+		}
+	case 13:
+		if i := pickIndex(rng, live, false, 0); i >= 0 {
+			v := make([]byte, 8)
+			rng.Read(v)
+			return op.NewCreate(objects[i], v)
+		}
+	}
+	return nil
+}
+
+// exploreOp builds the step's mutation over live objects, cycling through
+// physical writes, physiological self-transforms, and both logical forms.
+func exploreOp(rng *rand.Rand, objects []op.ObjectID, live []bool, step int) *op.Operation {
+	xi := pickIndex(rng, live, true, 0)
+	yi := pickIndex(rng, live, true, 0)
+	if xi < 0 || yi < 0 {
+		return nil
+	}
+	x, y := objects[xi], objects[yi]
+	switch step % 5 {
+	case 0:
+		v := make([]byte, 8)
+		rng.Read(v)
+		return op.NewPhysicalWrite(x, v)
+	case 1:
+		return op.NewPhysioWrite(x, op.FuncAppend, []byte{byte(step)})
+	case 2: // A-form logical: y <- y xor x
+		if x == y {
+			return op.NewPhysioWrite(x, op.FuncAppend, []byte{1})
+		}
+		return op.NewLogical(op.FuncXor, op.EncodeParams([]byte(y), []byte(x)),
+			[]op.ObjectID{x, y}, []op.ObjectID{y})
+	case 3: // B-form logical: x <- copy(y)
+		if x == y {
+			return op.NewPhysioWrite(x, op.FuncAppend, []byte{2})
+		}
+		return op.NewLogical(op.FuncCopy, []byte(x), []op.ObjectID{y}, []op.ObjectID{x})
+	default:
+		v := make([]byte, 4)
+		rng.Read(v)
+		return op.NewPhysicalWrite(y, v)
+	}
+}
+
+// pickIndex picks a uniform random object index with liveness == want and
+// index >= min, or -1 if none qualifies.
+func pickIndex(rng *rand.Rand, live []bool, want bool, min int) int {
+	var cand []int
+	for i := min; i < len(live); i++ {
+		if live[i] == want {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return -1
+	}
+	return cand[rng.Intn(len(cand))]
+}
+
+// checkExplainableState checks the paper's Theorem 3 against the recovered
+// run: the stable database must be explainable — some prefix set I of the
+// durable history's installation graph gives every object exposed by I
+// exactly its value after the last operation of I.
+//
+// Exhaustive prefix-set search is infeasible at this history size, so the
+// candidates come from the run itself: the cumulative installed sets traced
+// from the cache manager, newest first (the stable state normally *is* the
+// latest installed set), each BFS-extended a few installs deep to absorb
+// flushes whose trace was lost to the crash (a flush-transaction repaired
+// by recovery, a torn batch, a swing racing the fault).
+func checkExplainableState(eng *core.Engine, rec *runRecorder) error {
+	sc, err := eng.Log().Scan(0)
+	if err != nil {
+		return fmt.Errorf("explainability scan: %w", err)
+	}
+	var history []*op.Operation
+	for {
+		r, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("explainability scan: %w", err)
+		}
+		if r.Type == wal.RecOperation {
+			history = append(history, r.Op)
+		}
+	}
+	ig, err := installgraph.Build(history)
+	if err != nil {
+		return fmt.Errorf("explainability graph: %w", err)
+	}
+	inGraph := make(map[op.SI]bool, len(history))
+	for _, o := range history {
+		inGraph[o.LSN] = true
+	}
+	S := make(map[op.ObjectID][]byte)
+	for id, v := range eng.Store().Snapshot() {
+		S[id] = v.Val
+	}
+	objects := ig.TouchedObjects()
+
+	budget := 500
+	explains := func(I installgraph.PrefixSet) (bool, error) {
+		if budget <= 0 {
+			return false, nil
+		}
+		budget--
+		if !ig.IsPrefixSet(I) {
+			return false, nil
+		}
+		return ig.Explains(eng.Registry(), I, S, rec.initial, objects)
+	}
+
+	// Candidate prefix sets: the empty set plus the cumulative installed
+	// set after each traced install event, newest first.  LSNs whose log
+	// records were lost to the crash cannot appear — installation forces
+	// the log first — but a truncating checkpoint is absent here, so the
+	// filter is a cheap safety net.
+	candidates := []installgraph.PrefixSet{installgraph.NewPrefixSet()}
+	for _, mark := range rec.marks {
+		I := installgraph.NewPrefixSet()
+		for _, lsn := range rec.installed[:mark] {
+			if inGraph[lsn] {
+				I[lsn] = true
+			}
+		}
+		candidates = append(candidates, I)
+	}
+	for i := len(candidates) - 1; i >= 0 && budget > 0; i-- {
+		base := candidates[i]
+		ok, err := explains(base)
+		if err != nil {
+			return fmt.Errorf("explainability check: %w", err)
+		}
+		if ok {
+			return nil
+		}
+		if ok, err := extendExplains(ig, explains, base, 6, &budget); err != nil {
+			return fmt.Errorf("explainability check: %w", err)
+		} else if ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: stable state is not explainable by any traced prefix set (history %d ops, %d install events, budget left %d)",
+		len(history), len(rec.marks), budget)
+}
+
+// extendExplains breadth-first extends base by up to depth minimal
+// uninstalled operations, testing each extension.
+func extendExplains(ig *installgraph.Graph, explains func(installgraph.PrefixSet) (bool, error), base installgraph.PrefixSet, depth int, budget *int) (bool, error) {
+	frontier := []installgraph.PrefixSet{base}
+	seen := map[string]bool{prefixKey(base): true}
+	for d := 0; d < depth && len(frontier) > 0 && *budget > 0; d++ {
+		var next []installgraph.PrefixSet
+		for _, I := range frontier {
+			for _, m := range ig.MinimalUninstalled(I) {
+				J := ig.Extend(I, m)
+				k := prefixKey(J)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				ok, err := explains(J)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					return true, nil
+				}
+				if *budget <= 0 {
+					return false, nil
+				}
+				next = append(next, J)
+			}
+		}
+		frontier = next
+	}
+	return false, nil
+}
+
+func prefixKey(I installgraph.PrefixSet) string {
+	lsns := I.Sorted()
+	b := make([]byte, 0, len(lsns)*3)
+	for _, l := range lsns {
+		b = append(b, fmt.Sprintf("%d,", l)...)
+	}
+	return string(b)
+}

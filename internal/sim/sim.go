@@ -164,9 +164,21 @@ func CrashTest(opts core.Options, sc Scenario) error {
 // LSN <= horizon) on an oracle and compares every live object's value with
 // the engine's current (volatile) view.
 func VerifyAgainstOracle(eng *core.Engine, horizon op.SI) error {
+	hist := eng.History()
+	// A crash loses unforced tail records, and the restarted log reassigns
+	// their LSNs (wal.Log.Restart rewinds to the durable horizon so the
+	// durable log stays gap-free).  An LSN is only reused when its earlier
+	// holder was never durable, so of the history entries sharing an LSN
+	// exactly the last one is the durable operation — replay that one.
+	lastIdx := make(map[op.SI]int, len(hist))
+	for i, o := range hist {
+		if o.LSN != op.NilSI {
+			lastIdx[o.LSN] = i
+		}
+	}
 	oracle := NewOracle(eng.Registry())
-	for _, o := range eng.History() {
-		if o.LSN == op.NilSI || o.LSN > horizon {
+	for i, o := range hist {
+		if o.LSN == op.NilSI || o.LSN > horizon || lastIdx[o.LSN] != i {
 			continue
 		}
 		if err := oracle.Apply(o); err != nil {

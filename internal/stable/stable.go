@@ -108,9 +108,6 @@ type IOStats struct {
 	Batches map[BatchMode]int64
 }
 
-// ErrCrashed is returned when injected failure interrupts a batch.
-var ErrCrashed = errors.New("stable: injected crash during batch write")
-
 // ErrNotFound is returned by Read for absent objects.
 var ErrNotFound = errors.New("stable: object not found")
 
@@ -155,9 +152,10 @@ type Store struct {
 	// Benchmarks only; nanoseconds, accessed atomically.
 	readDelayNS atomic.Int64
 
-	// failAfter, when >= 0, injects a crash after that many object writes
-	// within the next batch.  Guarded by batchMu.
-	failAfter int
+	// probe, when non-nil, is consulted before every simulated device
+	// write a batch performs; a non-nil error injects a failure at exactly
+	// that write boundary (see SetWriteProbe).  Guarded by batchMu.
+	probe WriteProbe
 
 	// pending is a committed-but-unapplied flush transaction, repaired by
 	// RecoverPending (a real system replays it from the log at restart).
@@ -168,8 +166,7 @@ type Store struct {
 // NewStore returns an empty stable store.
 func NewStore() *Store {
 	s := &Store{
-		batches:   make(map[BatchMode]int64),
-		failAfter: -1,
+		batches: make(map[BatchMode]int64),
 	}
 	for i := range s.shards {
 		s.shards[i].objects = make(map[op.ObjectID]Versioned)
@@ -244,13 +241,27 @@ func (s *Store) IDs() []op.ObjectID {
 	return out
 }
 
-// FailAfterWrites arms crash injection: the next WriteBatch crashes after n
-// successful object writes (n may be 0 to crash immediately).  The injection
-// disarms after firing.
-func (s *Store) FailAfterWrites(n int) {
+// WriteProbe is consulted before each simulated device write inside
+// WriteBatch — one consult per in-place write, shadow write, pointer swing,
+// and flush-transaction log write, in batch order.  Returning a non-nil
+// error injects a failure at exactly that I/O boundary, leaving the store
+// in the state the real mechanism would leave there.  The fault layer's
+// Plan.StableProbe produces deterministic, replayable probes.
+type WriteProbe func() error
+
+// SetWriteProbe installs the fault probe; nil removes it.
+func (s *Store) SetWriteProbe(p WriteProbe) {
 	s.batchMu.Lock()
 	defer s.batchMu.Unlock()
-	s.failAfter = n
+	s.probe = p
+}
+
+// probeErr consults the write probe, if any.  Caller holds batchMu.
+func (s *Store) probeErr() error {
+	if s.probe == nil {
+		return nil
+	}
+	return s.probe()
 }
 
 // WriteBatch writes entries under the given atomicity mode.
@@ -274,16 +285,17 @@ func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
 	s.statsMu.Unlock()
 	switch mode {
 	case ModeSingle:
-		if s.consumeFailure(0) {
-			return ErrCrashed
+		if err := s.probeErr(); err != nil {
+			return fmt.Errorf("stable: single write: %w", err)
 		}
 		s.applyEntry(entries[0])
 		return nil
 
 	case ModeUnsafe:
 		for i, e := range entries {
-			if s.consumeFailure(i) {
-				return ErrCrashed // torn: first i entries applied
+			if err := s.probeErr(); err != nil {
+				// Torn: the first i entries are already applied.
+				return fmt.Errorf("stable: unsafe write %d: %w", i, err)
 			}
 			s.applyEntry(e)
 		}
@@ -292,8 +304,9 @@ func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
 	case ModeShadow:
 		// Phase 1: write shadow copies (costed as object writes).
 		for i, e := range entries {
-			if s.consumeFailure(i) {
-				return ErrCrashed // old state intact: swing never happened
+			if err := s.probeErr(); err != nil {
+				// Old state intact: the swing never happened.
+				return fmt.Errorf("stable: shadow write %d: %w", i, err)
 			}
 			s.objectWrites.Add(1)
 			if !e.Delete {
@@ -301,8 +314,8 @@ func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
 			}
 		}
 		// Phase 2: atomic pointer swing installs every entry at once.
-		if s.consumeFailure(len(entries)) {
-			return ErrCrashed
+		if err := s.probeErr(); err != nil {
+			return fmt.Errorf("stable: shadow swing: %w", err)
 		}
 		s.pointerSwings.Add(1)
 		for _, e := range entries {
@@ -313,8 +326,9 @@ func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
 	case ModeFlushTxn:
 		// Phase 1: log each value to the flush-transaction log.
 		for i, e := range entries {
-			if s.consumeFailure(i) {
-				return ErrCrashed // before commit: old state intact
+			if err := s.probeErr(); err != nil {
+				// Before commit: old state intact.
+				return fmt.Errorf("stable: flush-txn log write %d: %w", i, err)
 			}
 			s.flushTxnLogWrites.Add(1)
 			if !e.Delete {
@@ -327,8 +341,8 @@ func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
 		// Phase 2: in-place writes; a crash here leaves pending set, and
 		// RecoverPending finishes the job (idempotently).
 		for i, e := range entries {
-			if s.consumeFailure(len(entries) + i) {
-				return ErrCrashed
+			if err := s.probeErr(); err != nil {
+				return fmt.Errorf("stable: flush-txn in-place write %d: %w", i, err)
 			}
 			s.applyEntry(e)
 		}
@@ -336,15 +350,6 @@ func (s *Store) WriteBatch(entries []Entry, mode BatchMode) error {
 		return nil
 	}
 	return fmt.Errorf("stable: unknown batch mode %v", mode)
-}
-
-// consumeFailure fires the injected crash if armed for this write index.
-func (s *Store) consumeFailure(idx int) bool {
-	if s.failAfter >= 0 && idx >= s.failAfter {
-		s.failAfter = -1
-		return true
-	}
-	return false
 }
 
 // applyEntry performs and costs one in-place object write.

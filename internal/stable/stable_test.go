@@ -2,7 +2,10 @@ package stable
 
 import (
 	"errors"
+	"fmt"
 	"testing"
+
+	"logicallog/internal/fault"
 )
 
 // mustWrite is for test setup writes whose success is a precondition, not
@@ -12,6 +15,15 @@ func mustWrite(t *testing.T, s *Store, entries []Entry, mode BatchMode) {
 	if err := s.WriteBatch(entries, mode); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// crashAt installs a fresh fault plan that crashes the idx-th simulated
+// device write of the next batches (the store's probe is consulted once per
+// write, so idx is relative to installation).
+func crashAt(s *Store, idx int) *fault.Plan {
+	plan := fault.NewPlan(fault.Point{Chan: fault.ChanStable, Index: idx, Kind: fault.KindCrash})
+	s.SetWriteProbe(plan.StableProbe())
+	return plan
 }
 
 func TestModeString(t *testing.T) {
@@ -77,12 +89,12 @@ func TestShadowAtomicity(t *testing.T) {
 	s.ResetStats()
 
 	// Crash during shadow phase: old state fully intact.
-	s.FailAfterWrites(1)
+	plan := crashAt(s, 1)
 	err := s.WriteBatch([]Entry{
 		{ID: "X", Val: []byte("new"), VSI: 5},
 		{ID: "Y", Val: []byte("new"), VSI: 5},
 	}, ModeShadow)
-	if !errors.Is(err, ErrCrashed) {
+	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("err = %v", err)
 	}
 	x, _ := s.Read("X")
@@ -90,6 +102,7 @@ func TestShadowAtomicity(t *testing.T) {
 	if string(x.Val) != "old" || string(y.Val) != "old" {
 		t.Error("shadow crash must leave old state intact")
 	}
+	plan.Heal()
 
 	// Successful shadow batch installs everything with one pointer swing.
 	if err := s.WriteBatch([]Entry{
@@ -118,12 +131,12 @@ func TestFlushTxnCommitRepair(t *testing.T) {
 	mustWrite(t, s, []Entry{{ID: "Y", Val: []byte("old")}}, ModeSingle)
 
 	// Crash before commit (during value logging): old state, no pending.
-	s.FailAfterWrites(1)
+	crashAt(s, 1)
 	err := s.WriteBatch([]Entry{
 		{ID: "X", Val: []byte("new")},
 		{ID: "Y", Val: []byte("new")},
 	}, ModeFlushTxn)
-	if !errors.Is(err, ErrCrashed) || s.HasPending() {
+	if !errors.Is(err, fault.ErrInjected) || s.HasPending() {
 		t.Fatalf("pre-commit crash: err=%v pending=%v", err, s.HasPending())
 	}
 	x, _ := s.Read("X")
@@ -132,12 +145,12 @@ func TestFlushTxnCommitRepair(t *testing.T) {
 	}
 
 	// Crash after commit (during in-place phase): pending repair completes it.
-	s.FailAfterWrites(3) // 2 log writes pass, crash on 2nd in-place write (idx 3)
+	crashAt(s, 3) // 2 log writes pass, crash on 2nd in-place write (idx 3)
 	err = s.WriteBatch([]Entry{
 		{ID: "X", Val: []byte("new")},
 		{ID: "Y", Val: []byte("new")},
 	}, ModeFlushTxn)
-	if !errors.Is(err, ErrCrashed) {
+	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("err = %v", err)
 	}
 	if !s.HasPending() {
@@ -184,12 +197,12 @@ func TestUnsafeTornWrite(t *testing.T) {
 	s := NewStore()
 	mustWrite(t, s, []Entry{{ID: "X", Val: []byte("old")}}, ModeSingle)
 	mustWrite(t, s, []Entry{{ID: "Y", Val: []byte("old")}}, ModeSingle)
-	s.FailAfterWrites(1)
+	crashAt(s, 1)
 	err := s.WriteBatch([]Entry{
 		{ID: "X", Val: []byte("new")},
 		{ID: "Y", Val: []byte("new")},
 	}, ModeUnsafe)
-	if !errors.Is(err, ErrCrashed) {
+	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatal(err)
 	}
 	x, _ := s.Read("X")
@@ -199,19 +212,112 @@ func TestUnsafeTornWrite(t *testing.T) {
 	}
 }
 
-func TestFailAfterZero(t *testing.T) {
+func TestCrashAtZero(t *testing.T) {
 	s := NewStore()
-	s.FailAfterWrites(0)
+	plan := crashAt(s, 0)
 	err := s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle)
-	if !errors.Is(err, ErrCrashed) {
+	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatal(err)
 	}
 	if s.Contains("X") {
 		t.Error("crash-at-zero must write nothing")
 	}
-	// Injection disarms after firing.
+	// A dead plan keeps failing writes (the machine stopped) until healed.
+	if err := s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("write on dead plan = %v, want injected failure", err)
+	}
+	plan.Heal()
 	if err := s.WriteBatch([]Entry{{ID: "X", Val: []byte("v")}}, ModeSingle); err != nil {
-		t.Errorf("second write = %v", err)
+		t.Errorf("post-heal write = %v", err)
+	}
+}
+
+// TestShadowMidBatchFailureEveryIndex is the regression test for shadow
+// batches interrupted at every possible write boundary: phase-1 shadow
+// writes 0..n-1 and the pointer swing at n.  Whatever the boundary, the
+// store must hold the fully-old state (never torn), report no pending
+// repair, and accept a clean retry of the same batch afterwards — i.e. a
+// mid-batch failure loses no recoverability.
+func TestShadowMidBatchFailureEveryIndex(t *testing.T) {
+	batch := []Entry{
+		{ID: "X", Val: []byte("newX"), VSI: 9},
+		{ID: "Y", Val: []byte("newY"), VSI: 9},
+		{ID: "Z", Val: []byte("newZ"), VSI: 9},
+	}
+	for idx := 0; idx <= len(batch); idx++ {
+		t.Run(fmt.Sprintf("write%d", idx), func(t *testing.T) {
+			s := NewStore()
+			mustWrite(t, s, []Entry{{ID: "X", Val: []byte("oldX"), VSI: 1}}, ModeSingle)
+			mustWrite(t, s, []Entry{{ID: "Y", Val: []byte("oldY"), VSI: 1}}, ModeSingle)
+			// Z does not exist yet: a torn shadow batch would create it.
+			plan := fault.NewPlan(fault.Point{Chan: fault.ChanStable, Index: idx, Kind: fault.KindCrash})
+			s.SetWriteProbe(plan.StableProbe())
+			err := s.WriteBatch(batch, ModeShadow)
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("err = %v, want injected failure", err)
+			}
+			x, _ := s.Read("X")
+			y, _ := s.Read("Y")
+			if string(x.Val) != "oldX" || x.VSI != 1 || string(y.Val) != "oldY" || y.VSI != 1 {
+				t.Errorf("state torn at write %d: X=%q Y=%q", idx, x.Val, y.Val)
+			}
+			if s.Contains("Z") {
+				t.Errorf("write %d: Z leaked from an uninstalled shadow batch", idx)
+			}
+			if s.HasPending() {
+				t.Errorf("write %d: shadow mode must never leave a pending repair", idx)
+			}
+			// After healing, the same batch retries cleanly to the new state.
+			plan.Heal()
+			mustWrite(t, s, batch, ModeShadow)
+			x, _ = s.Read("X")
+			z, _ := s.Read("Z")
+			if string(x.Val) != "newX" || x.VSI != 9 || string(z.Val) != "newZ" {
+				t.Errorf("retry after write-%d failure incomplete: X=%q Z=%q", idx, x.Val, z.Val)
+			}
+		})
+	}
+}
+
+// TestFlushTxnMidBatchFailureEveryIndex does the same sweep for the
+// flush-transaction mechanism: failures before the commit boundary leave
+// old state and no pending entries; failures after it leave a pending
+// repair that RecoverPending completes to the fully-new state.
+func TestFlushTxnMidBatchFailureEveryIndex(t *testing.T) {
+	batch := []Entry{
+		{ID: "X", Val: []byte("newX"), VSI: 9},
+		{ID: "Y", Val: []byte("newY"), VSI: 9},
+	}
+	// Write boundaries: log writes 0..1, then in-place writes 2..3.
+	for idx := 0; idx <= 3; idx++ {
+		t.Run(fmt.Sprintf("write%d", idx), func(t *testing.T) {
+			s := NewStore()
+			mustWrite(t, s, []Entry{{ID: "X", Val: []byte("oldX"), VSI: 1}}, ModeSingle)
+			mustWrite(t, s, []Entry{{ID: "Y", Val: []byte("oldY"), VSI: 1}}, ModeSingle)
+			plan := fault.NewPlan(fault.Point{Chan: fault.ChanStable, Index: idx, Kind: fault.KindCrash})
+			s.SetWriteProbe(plan.StableProbe())
+			err := s.WriteBatch(batch, ModeFlushTxn)
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("err = %v, want injected failure", err)
+			}
+			committed := idx >= len(batch)
+			if s.HasPending() != committed {
+				t.Fatalf("write %d: pending = %v, want %v", idx, s.HasPending(), committed)
+			}
+			plan.Heal()
+			s.RecoverPending()
+			x, _ := s.Read("X")
+			y, _ := s.Read("Y")
+			if committed {
+				if string(x.Val) != "newX" || string(y.Val) != "newY" {
+					t.Errorf("write %d: repair incomplete: X=%q Y=%q", idx, x.Val, y.Val)
+				}
+			} else {
+				if string(x.Val) != "oldX" || string(y.Val) != "oldY" {
+					t.Errorf("write %d: pre-commit failure not atomic: X=%q Y=%q", idx, x.Val, y.Val)
+				}
+			}
+		})
 	}
 }
 

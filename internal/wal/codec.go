@@ -27,6 +27,12 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // frameOverhead is the per-record framing cost in bytes.
 const frameOverhead = 8
 
+// MaxRecordHeader bounds the bytes of a frame before any record body: the
+// framing plus the payload's type byte and worst-case LSN varint.  A torn
+// append of fewer than MaxRecordHeader bytes can cut anywhere inside this
+// prefix; the exhaustive torn-tail tests cover every such length.
+const MaxRecordHeader = frameOverhead + 1 + binary.MaxVarintLen64
+
 type encoder struct {
 	buf []byte
 }

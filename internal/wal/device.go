@@ -24,8 +24,8 @@ type Device interface {
 }
 
 // MemDevice is an in-memory Device, the default for simulations and tests.
-// It can inject a torn tail: CorruptTail flips bytes at the end, as a crash
-// mid-sector-write would.
+// Fault injection (torn appends, bit flips, reordered batches) lives in
+// internal/fault, whose Plan.WrapDevice decorates any Device.
 type MemDevice struct {
 	mu   sync.Mutex
 	data []byte
@@ -66,20 +66,6 @@ func (m *MemDevice) Rewrite(p []byte) error {
 
 // Close implements Device.
 func (m *MemDevice) Close() error { return nil }
-
-// CorruptTail simulates a torn sector: it truncates n bytes off the end and
-// appends n/2 garbage bytes, as an interrupted physical write would leave.
-func (m *MemDevice) CorruptTail(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if n > len(m.data) {
-		n = len(m.data)
-	}
-	m.data = m.data[:len(m.data)-n]
-	for i := 0; i < n/2; i++ {
-		m.data = append(m.data, 0xEE)
-	}
-}
 
 // FileDevice is a file-backed Device so logs can be inspected offline with
 // cmd/llinspect and survive real process restarts.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"logicallog/internal/op"
 )
@@ -34,6 +35,11 @@ type Log struct {
 	firstLSN     op.SI // first LSN still on the device (post truncation)
 	tail         []pending
 
+	// Transient-fault retry policy for device appends (see SetRetryPolicy).
+	retryMax  int
+	retryBase time.Duration
+	retryCap  time.Duration
+
 	stats Stats
 }
 
@@ -61,6 +67,41 @@ type Stats struct {
 	// ForcesCoalesced counts Force/ForceThrough calls satisfied by another
 	// caller's in-flight device write (group commit followers).
 	ForcesCoalesced int64
+	// TransientRetries counts device appends retried after a transient
+	// (retryable) error.
+	TransientRetries int64
+}
+
+// transient matches errors that mark themselves retryable, such as the
+// fault layer's injected EIOs.  Declared locally so wal does not import the
+// fault package (which imports wal).
+type transient interface {
+	Transient() bool
+}
+
+// IsTransient reports whether err is a retryable I/O error.
+func IsTransient(err error) bool {
+	var t transient
+	return errors.As(err, &t) && t.Transient()
+}
+
+// TransientBackoff returns the capped exponential delay before the given
+// 1-based retry attempt.
+func TransientBackoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if max > 0 && d > max {
+		return max
+	}
+	return d
 }
 
 func newStats() Stats {
@@ -123,12 +164,26 @@ func New(dev Device) (*Log, error) {
 		if first {
 			l.firstLSN = rec.LSN
 			first = false
+		} else if rec.LSN != l.stableLSN+1 {
+			break // LSN gap: a lost write; the log ends at the gap
 		}
 		l.stableLSN = rec.LSN
 		l.nextLSN = rec.LSN + 1
 		data = data[n:]
 	}
 	return l, nil
+}
+
+// SetRetryPolicy configures transient-fault retry for device appends in
+// Force/ForceThrough: an append failing with a retryable error (see
+// IsTransient) is retried up to maxRetries times with capped exponential
+// backoff.  maxRetries <= 0 disables retry (the default).
+func (l *Log) SetRetryPolicy(maxRetries int, base, cap time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retryMax = maxRetries
+	l.retryBase = base
+	l.retryCap = cap
 }
 
 // Append assigns the next LSN to rec, encodes it into the volatile tail, and
@@ -236,10 +291,18 @@ func (l *Log) forceLocked(lsn op.SI) error {
 		return nil
 	}
 	l.forcing = true
+	retryMax, retryBase, retryCap := l.retryMax, l.retryBase, l.retryCap
 	l.mu.Unlock()
 	err := l.dev.Append(buf)
+	var retries int64
+	for attempt := 1; err != nil && attempt <= retryMax && IsTransient(err); attempt++ {
+		time.Sleep(TransientBackoff(attempt, retryBase, retryCap))
+		retries++
+		err = l.dev.Append(buf)
+	}
 	l.mu.Lock()
 	l.forcing = false
+	l.stats.TransientRetries += retries
 	if err == nil {
 		if last > l.stableLSN {
 			l.stableLSN = last
@@ -292,6 +355,130 @@ func (l *Log) Crash() int {
 	return n
 }
 
+// TrimTornTail rewrites the device down to its trustworthy prefix and
+// returns the bytes discarded.  A record is trustworthy when it frames and
+// decodes cleanly, extends the previous record's LSN by one, and — if it
+// lies beyond the acked horizon (stableLSN) with nothing acked before it —
+// starts exactly where the log would have appended.  Everything from the
+// first violation on is the debris of a torn, bit-flipped, or reordered
+// final append.
+func (l *Log) TrimTornTail() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.forcing {
+		l.forceDone.Wait()
+	}
+	return l.trimTornTailLocked()
+}
+
+func (l *Log) trimTornTailLocked() (int, error) {
+	data, err := l.dev.ReadAll()
+	if err != nil {
+		return 0, err
+	}
+	good := 0
+	last := op.SI(0)
+	rest := data
+	for len(rest) > 0 {
+		payload, n, err := Unframe(rest)
+		if err != nil {
+			break
+		}
+		rec, err := decodeRecordAliased(payload)
+		if err != nil {
+			break
+		}
+		if last != 0 && rec.LSN != last+1 {
+			break // interior gap: a dropped frame in a reordered batch
+		}
+		if last == 0 && rec.LSN > l.stableLSN {
+			// The device's very first record was never acked, so nothing
+			// vouches for it unless it sits exactly where the next append
+			// would have landed: after the acked horizon, or at the log's
+			// first LSN when nothing was ever acked.  A later LSN means
+			// the append's leading frames were lost.
+			want := l.stableLSN + 1
+			if l.stableLSN == 0 {
+				want = l.firstLSN
+			}
+			if rec.LSN != want {
+				break
+			}
+		}
+		last = rec.LSN
+		good += n
+		rest = rest[n:]
+	}
+	if good == len(data) {
+		return 0, nil
+	}
+	if err := l.dev.Rewrite(data[:good]); err != nil {
+		return 0, err
+	}
+	if last < l.stableLSN {
+		// Only possible outside the crash model (acked data lost); keep
+		// the horizon consistent with the device regardless.
+		l.stableLSN = last
+	}
+	return len(data) - good, nil
+}
+
+// Restart re-synchronizes the log with its device at recovery time, as a
+// process restart's New would: it waits out any in-flight force, trims the
+// untrustworthy tail a mid-append crash left behind (see TrimTornTail), and
+// — when the volatile tail is empty, i.e. the caller crashed first —
+// rewinds the LSN horizon to the durable log so the LSNs of lost records
+// are reused and the durable log stays gap-free.  With a non-empty tail
+// (recovery without a crash) the horizon is left alone: the tail still owns
+// its LSNs.  An empty device also leaves the horizon alone, because
+// checkpoint truncation legitimately erases records whose LSNs must not be
+// reassigned.
+func (l *Log) Restart() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.forcing {
+		l.forceDone.Wait()
+	}
+	if _, err := l.trimTornTailLocked(); err != nil {
+		return fmt.Errorf("wal: restart: %w", err)
+	}
+	if len(l.tail) != 0 {
+		return nil
+	}
+	data, err := l.dev.ReadAll()
+	if err != nil {
+		return fmt.Errorf("wal: restart: %w", err)
+	}
+	first := op.SI(0)
+	last := op.SI(0)
+	for len(data) > 0 {
+		payload, n, err := Unframe(data)
+		if err != nil {
+			return fmt.Errorf("wal: restart: device still torn after trim")
+		}
+		rec, err := decodeRecordAliased(payload)
+		if err != nil {
+			return fmt.Errorf("wal: restart: device still torn after trim")
+		}
+		if first == 0 {
+			first = rec.LSN
+		}
+		last = rec.LSN
+		data = data[n:]
+	}
+	if last == 0 {
+		return nil // empty device: keep the horizon (see doc comment)
+	}
+	l.firstLSN = first
+	if last > l.stableLSN {
+		// A torn append can land every frame and lose only the ack; the
+		// records are durable, so the horizon advances over them.
+		l.stableLSN = last
+	}
+	l.nextLSN = l.stableLSN + 1
+	return nil
+}
+
 // Truncate discards all durable records with LSN < before.  Only installed
 // operations may be truncated away; the caller (checkpointing) guarantees
 // that.  Truncation rewrites the device.
@@ -309,6 +496,7 @@ func (l *Log) Truncate(before op.SI) error {
 	}
 	var keep []byte
 	newFirst := op.SI(0)
+	last := op.SI(0)
 	for len(data) > 0 {
 		payload, n, err := Unframe(data)
 		if err != nil {
@@ -318,6 +506,10 @@ func (l *Log) Truncate(before op.SI) error {
 		if err != nil {
 			break
 		}
+		if last != 0 && rec.LSN != last+1 {
+			break // LSN gap: the durable log ends here
+		}
+		last = rec.LSN
 		if rec.LSN >= before {
 			if newFirst == 0 {
 				newFirst = rec.LSN
@@ -345,6 +537,7 @@ func (l *Log) Truncate(before op.SI) error {
 type Scanner struct {
 	data []byte
 	from op.SI
+	last op.SI // LSN of the last record decoded, for gap detection
 }
 
 // Scan returns a Scanner positioned at the first durable record with
@@ -359,7 +552,8 @@ func (l *Log) Scan(from op.SI) (*Scanner, error) {
 }
 
 // Next returns the next record, or io.EOF at end of log (including at a
-// torn tail, which terminates the log exactly as after a crash).
+// torn tail, which terminates the log exactly as after a crash, and at an
+// LSN gap, which marks a lost write inside a reordered batch).
 func (s *Scanner) Next() (*Record, error) {
 	for len(s.data) > 0 {
 		payload, n, err := Unframe(s.data)
@@ -370,6 +564,10 @@ func (s *Scanner) Next() (*Record, error) {
 		if err != nil {
 			return nil, io.EOF
 		}
+		if s.last != 0 && rec.LSN != s.last+1 {
+			return nil, io.EOF
+		}
+		s.last = rec.LSN
 		s.data = s.data[n:]
 		if rec.LSN >= s.from {
 			return rec, nil
