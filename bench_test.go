@@ -19,6 +19,7 @@ import (
 	"logicallog/internal/core"
 	"logicallog/internal/fsim"
 	"logicallog/internal/harness"
+	"logicallog/internal/obs"
 	"logicallog/internal/op"
 	"logicallog/internal/recovery"
 	"logicallog/internal/sim"
@@ -453,16 +454,23 @@ func BenchmarkE8ParallelRedo(b *testing.B) {
 		LogInstalls: true,
 		Registry:    op.NewRegistry(),
 	}
-	recoverOnce := func(workers int) *recovery.Result {
+	recoverObs := func(workers int, reg *obs.Registry, tracer *obs.Tracer) *recovery.Result {
+		c := cfg
+		c.Obs = reg
 		res, err := recovery.Recover(log, store, recovery.Options{
 			Test:        recovery.TestRSI,
-			Cache:       cfg,
+			Cache:       c,
 			RedoWorkers: workers,
+			Obs:         reg,
+			Tracer:      tracer,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		return res
+	}
+	recoverOnce := func(workers int) *recovery.Result {
+		return recoverObs(workers, nil, nil)
 	}
 	base := recoverOnce(1)
 	if base.Redone != objects*opsPerObject {
@@ -483,6 +491,22 @@ func BenchmarkE8ParallelRedo(b *testing.B) {
 			b.ReportMetric(float64(base.ScannedOps)*float64(b.N)/b.Elapsed().Seconds(), "redoops/sec")
 		})
 	}
+	// Fully instrumented variant: metrics registry + span tracer attached.
+	// Comparing against workers=8 above measures the observability tax
+	// (DESIGN.md budgets it at under 5%); the plain runs measure the
+	// disabled cost, which is a nil check per hook.
+	b.Run("workers=8/obs", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		res := recoverObs(8, reg, obs.NewTracer())
+		if res.Redone != base.Redone {
+			b.Fatalf("instrumented run redid %d ops, want %d", res.Redone, base.Redone)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			recoverObs(8, reg, obs.NewTracer())
+		}
+		b.ReportMetric(float64(base.ScannedOps)*float64(b.N)/b.Elapsed().Seconds(), "redoops/sec")
+	})
 }
 
 // BenchmarkAblationInstallLogging — A1: redo work with and without install

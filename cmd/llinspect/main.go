@@ -3,9 +3,13 @@
 // with operation read/write sets, install/flush bookkeeping, and checkpoint
 // contents.
 //
+// With -timeline it instead renders the phase timeline of a recovery trace
+// produced by llrun -trace-out (Chrome trace_event JSON).
+//
 // Usage:
 //
 //	llinspect [-from LSN] path/to/db.wal
+//	llinspect -timeline trace.json
 package main
 
 import (
@@ -16,15 +20,24 @@ import (
 	"os"
 	"strings"
 
+	"logicallog/internal/obs"
 	"logicallog/internal/op"
 	"logicallog/internal/wal"
 )
 
 func main() {
 	from := flag.Uint64("from", 0, "first LSN to print")
+	timeline := flag.String("timeline", "", "render the recovery timeline of a Chrome trace_event JSON file (from llrun -trace-out)")
 	flag.Parse()
+	if *timeline != "" {
+		if err := renderTimeline(*timeline); err != nil {
+			fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: llinspect [-from LSN] <wal file>")
+		fmt.Fprintln(os.Stderr, "usage: llinspect [-from LSN] <wal file> | llinspect -timeline <trace.json>")
 		os.Exit(2)
 	}
 	dev, err := wal.OpenFileDevice(flag.Arg(0))
@@ -57,6 +70,22 @@ func main() {
 		count++
 	}
 	fmt.Printf("-- %d records (stable LSN %d, first LSN %d)\n", count, log.StableLSN(), log.FirstLSN())
+}
+
+// renderTimeline loads a Chrome trace_event file and prints the text phase
+// timeline (per-lane spans with proportional bars, then phase totals).
+func renderTimeline(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		return err
+	}
+	obs.RenderTimeline(os.Stdout, events)
+	return nil
 }
 
 func printRecord(rec *wal.Record) {

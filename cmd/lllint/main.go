@@ -2,7 +2,8 @@
 // the analyzers in internal/lint, which mechanically enforce the
 // recovery-critical invariants documented in DESIGN.md (deterministic redo
 // replay, the engine/cache/stable/wal lock order, the force-error
-// discipline, atomic-access consistency, and log-record immutability).
+// discipline, atomic-access consistency, log-record immutability, and the
+// obs span discipline — every Lane.Begin span must be endable).
 //
 // Usage:
 //

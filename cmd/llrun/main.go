@@ -5,9 +5,12 @@
 // Usage:
 //
 //	llrun [-steps N] [-seed S] [-wal path] [-physio] [-w] [-vsi] [-faults token]
+//	      [-trace-out trace.json] [-metrics] [-debug-addr host:port]
+//	      [-cpuprofile p] [-memprofile p] [-runtime-trace p]
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,6 +20,7 @@ import (
 	"logicallog/internal/cache"
 	"logicallog/internal/core"
 	"logicallog/internal/fault"
+	"logicallog/internal/obs"
 	"logicallog/internal/recovery"
 	"logicallog/internal/sim"
 	"logicallog/internal/wal"
@@ -32,7 +36,23 @@ func main() {
 	vsi := flag.Bool("vsi", false, "use the classic vSI REDO test instead of generalized rSIs")
 	redoWorkers := flag.Int("redo-workers", 0, "parallel redo worker count (0 = GOMAXPROCS, 1 = serial)")
 	faults := flag.String("faults", "", `fault plan token, e.g. "wal@17:torn=3+stable@4:eio" (see internal/fault)`)
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the recovery pipeline to this path")
+	metrics := flag.Bool("metrics", false, "print the unified metrics snapshot (and recovery timeline) after the run")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, and /metrics on this address")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
+	runtimeTrace := flag.String("runtime-trace", "", "write a Go runtime execution trace to this path")
 	flag.Parse()
+
+	prof, err := obs.StartProfiles(*cpuProfile, *memProfile, *runtimeTrace)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "llrun: profiles: %v\n", err)
+		}
+	}()
 
 	points, err := fault.ParseToken(*faults)
 	if err != nil {
@@ -40,9 +60,23 @@ func main() {
 	}
 	plan := fault.NewPlan(points...)
 
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		plan.SetObs(reg)
+	}
+	if *traceOut != "" || *metrics {
+		tracer = obs.NewTracer()
+	}
+
 	opts := core.DefaultOptions()
 	opts.Physiological = *physio
 	opts.RedoWorkers = *redoWorkers
+	opts.Obs = reg
+	opts.Tracer = tracer
 	if *classicW {
 		opts.Policy = writegraph.PolicyW
 		opts.Strategy = cache.StrategyShadow // identity breakup needs rW
@@ -67,6 +101,14 @@ func main() {
 		fatal(err)
 	}
 	eng.Store().SetWriteProbe(plan.StableProbe())
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, eng.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("debug endpoint on http://%s/debug/pprof/ (metrics at /metrics)\n", ln.Addr())
+	}
 	sc := sim.DefaultScenario(*seed)
 	sc.Steps = *steps
 
@@ -104,6 +146,30 @@ func main() {
 		fatal(fmt.Errorf("verification FAILED: %w", err))
 	}
 	fmt.Println("verification: recovered state matches the durable-history oracle")
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recovery trace written to %s (load in chrome://tracing or Perfetto, or llinspect -timeline)\n", *traceOut)
+	}
+	if *metrics {
+		fmt.Println("-- metrics")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(eng.Metrics()); err != nil {
+			fatal(err)
+		}
+		obs.RenderTimeline(os.Stdout, tracer.Events())
+	}
 	fmt.Printf("WAL left at %s (inspect with llinspect)\n", path)
 }
 

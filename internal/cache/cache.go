@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"logicallog/internal/graph"
+	"logicallog/internal/obs"
 	"logicallog/internal/op"
 	"logicallog/internal/stable"
 	"logicallog/internal/wal"
@@ -73,6 +74,44 @@ type Config struct {
 	// batch that failed with a transient (retryable) I/O error — see
 	// wal.IsTransient.  Zero disables retry.
 	TransientRetries int
+	// Obs, when non-nil, receives the manager's hot-path metrics:
+	// atomic-flush-set and Notx size distributions, install latency,
+	// write-graph node/operation gauges, and transient-retry backoff.
+	Obs *obs.Registry
+}
+
+// cacheObs holds the manager's optional metric handles; all nil (and hence
+// no-ops) when Config.Obs is unset.
+type cacheObs struct {
+	// flushSetSize is |vars(n)| per installed node — the atomic-flush-set
+	// size distribution E3 reasons about.
+	flushSetSize *obs.Histogram
+	// notxSize is |Notx(n)| per installed node (installed without flushing).
+	notxSize *obs.Histogram
+	// installNs is the end-to-end InstallNode latency (force + flush + log).
+	installNs *obs.Histogram
+	// wgNodes/wgOps track the live write graph after every AddOp.
+	wgNodes *obs.Gauge
+	wgOps   *obs.Gauge
+	// retryBackoffNs is the transient-retry backoff slept per stable-batch
+	// retry attempt.
+	retryBackoffNs *obs.Histogram
+	retries        *obs.Counter
+}
+
+func newCacheObs(r *obs.Registry) cacheObs {
+	if r == nil {
+		return cacheObs{}
+	}
+	return cacheObs{
+		flushSetSize:   r.Histogram("cache.install.flush_set_size"),
+		notxSize:       r.Histogram("cache.install.notx_size"),
+		installNs:      r.Histogram("cache.install.ns"),
+		wgNodes:        r.Gauge("writegraph.nodes"),
+		wgOps:          r.Gauge("writegraph.ops"),
+		retryBackoffNs: r.Histogram("cache.retry.backoff_ns"),
+		retries:        r.Counter("cache.retry.attempts"),
+	}
 }
 
 // Transient-retry backoff bounds for stable-store batches.  The simulated
@@ -157,6 +196,8 @@ type Manager struct {
 
 	statsMu sync.Mutex
 	stats   Stats
+
+	obs cacheObs
 }
 
 // NewManager builds a cache manager over the given log and stable store.
@@ -169,6 +210,7 @@ func NewManager(cfg Config, log *wal.Log, store *stable.Store) (*Manager, error)
 		log:   log,
 		store: store,
 		wg:    writegraph.New(cfg.Policy),
+		obs:   newCacheObs(cfg.Obs),
 	}
 	for i := range m.shards {
 		m.shards[i].m = make(map[op.ObjectID]*entry)
@@ -227,6 +269,15 @@ func (m *Manager) Stats() Stats {
 	m.statsMu.Lock()
 	defer m.statsMu.Unlock()
 	return m.stats
+}
+
+// ResetStats zeroes the manager's counters (benchmark phases; Engine's
+// coherent ResetStats resets the WAL, store, cache, and obs registry
+// together under the engine mutex).
+func (m *Manager) ResetStats() {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	m.stats = Stats{}
 }
 
 // WriteGraph exposes the manager's write graph for inspection.
@@ -394,6 +445,9 @@ func (m *Manager) applyLogged(o *op.Operation, writes map[op.ObjectID][]byte) er
 	}
 	m.wgMu.Lock()
 	_, err := m.wg.AddOp(o)
+	if err == nil && m.obs.wgNodes != nil {
+		m.obs.wgNodes.Set(int64(m.wg.Len()))
+	}
 	m.wgMu.Unlock()
 	if err != nil {
 		return err
@@ -450,6 +504,10 @@ var errDeferred = errors.New("cache: node deferred by identity-write breakup")
 // atomicity mechanism, logs the installation record, and updates rSIs for
 // both flushed and unflushed (Notx) objects.
 func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
+	var installStart time.Time
+	if m.obs.installNs.Enabled() {
+		installStart = time.Now()
+	}
 	nv := m.wg.Node(id)
 	if nv == nil {
 		return nil, fmt.Errorf("cache: no write-graph node %d", id)
@@ -566,7 +624,10 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 		// re-logs; unsafe torn prefixes are overwritten by the identical
 		// values.
 		for attempt := 1; err != nil && attempt <= m.cfg.TransientRetries && wal.IsTransient(err); attempt++ {
-			time.Sleep(wal.TransientBackoff(attempt, transientRetryBase, transientRetryCap))
+			backoff := wal.TransientBackoff(attempt, transientRetryBase, transientRetryCap)
+			m.obs.retries.Inc()
+			m.obs.retryBackoffNs.ObserveDuration(backoff)
+			time.Sleep(backoff)
 			err = m.store.WriteBatch(entries, mode)
 		}
 		if err != nil {
@@ -584,6 +645,12 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 	m.stats.ObjectsFlushed += int64(len(view.Vars))
 	m.stats.InstalledNotFlushed += int64(len(view.Notx))
 	m.statsMu.Unlock()
+	m.obs.flushSetSize.Observe(int64(len(view.Vars)))
+	m.obs.notxSize.Observe(int64(len(view.Notx)))
+	if m.obs.wgNodes != nil {
+		m.obs.wgNodes.Set(int64(m.wg.Len()))
+		m.obs.wgOps.Set(int64(m.wg.OpCount()))
+	}
 	if m.cfg.InstallTrace != nil {
 		m.cfg.InstallTrace(view)
 	}
@@ -635,6 +702,9 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 		if _, err := m.log.Append(rec); err != nil {
 			return nil, err
 		}
+	}
+	if m.obs.installNs.Enabled() {
+		m.obs.installNs.Since(installStart)
 	}
 	return view.Vars, nil
 }
@@ -766,6 +836,8 @@ func (m *Manager) Crash() {
 		sh.mu.Unlock()
 	}
 	m.wg = writegraph.New(m.cfg.Policy)
+	m.obs.wgNodes.Set(0)
+	m.obs.wgOps.Set(0)
 }
 
 func prunePending(pending []op.SI, installed map[op.SI]bool) []op.SI {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"logicallog/internal/cache"
+	"logicallog/internal/obs"
 	"logicallog/internal/op"
 	"logicallog/internal/recovery"
 	"logicallog/internal/stable"
@@ -50,6 +51,15 @@ type Options struct {
 	// that fail with a transient (retryable) I/O error, with capped
 	// exponential backoff.  0 defaults to 3; negative disables retry.
 	TransientRetries int
+	// Obs, when non-nil, receives hot-path metrics from every layer (WAL
+	// append/force latency, group-commit batch sizes, flush-set sizes,
+	// write-graph gauges, redo-chain distributions).  Engine.Metrics()
+	// merges its snapshot with the legacy Stats counters.  Nil disables
+	// instrumentation at ~0 cost.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records phase spans of the recovery pipeline
+	// for Chrome/Perfetto trace export and timeline rendering.
+	Tracer *obs.Tracer
 }
 
 // defaultTransientRetries is the retry budget when Options leaves
@@ -104,6 +114,7 @@ func New(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	log.SetRetryPolicy(opts.TransientRetries, 20*time.Microsecond, 500*time.Microsecond)
+	log.SetObs(opts.Obs)
 	e := &Engine{opts: opts, reg: opts.Registry, log: log, store: stable.NewStore()}
 	e.mgr, err = cache.NewManager(e.cacheConfig(), log, e.store)
 	if err != nil {
@@ -120,6 +131,7 @@ func (e *Engine) cacheConfig() cache.Config {
 		Registry:         e.reg,
 		InstallTrace:     e.opts.InstallTrace,
 		TransientRetries: e.opts.TransientRetries,
+		Obs:              e.opts.Obs,
 	}
 }
 
@@ -255,6 +267,8 @@ func (e *Engine) Recover() (*recovery.Result, error) {
 		Test:        e.opts.RedoTest,
 		Cache:       e.cacheConfig(),
 		RedoWorkers: e.opts.RedoWorkers,
+		Tracer:      e.opts.Tracer,
+		Obs:         e.opts.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -270,17 +284,74 @@ type Stats struct {
 	Cache cache.Stats
 }
 
-// Stats returns a snapshot of all counters.
+// Stats returns a snapshot of all counters.  It is coherent: every engine
+// mutator holds e.mu, so the log, store, and cache counters are read at a
+// single quiescent point with no torn cross-source reads.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Stats{Log: e.log.Stats(), Store: e.store.Stats(), Cache: e.mgr.Stats()}
 }
 
-// ResetStats zeroes log and store counters (benchmark phases).
+// Metrics returns the unified observability view: the obs registry's
+// counters, gauges, and histograms (empty when Options.Obs is nil) merged
+// with the legacy per-package Stats counters under stable dotted names
+// ("wal.forces", "cache.installs", "stable.object_writes", ...).  Like
+// Stats, the snapshot is taken under e.mu and therefore coherent.
+func (e *Engine) Metrics() obs.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.opts.Obs.Snapshot()
+	st := Stats{Log: e.log.Stats(), Store: e.store.Stats(), Cache: e.mgr.Stats()}
+	mergeStats(&s, st)
+	return s
+}
+
+// mergeStats folds the legacy Stats counters into a metrics snapshot under
+// dotted names, so one view covers both metric sources.
+func mergeStats(s *obs.Snapshot, st Stats) {
+	c := s.Counters
+	c["wal.bytes_appended"] = st.Log.BytesAppended
+	c["wal.value_bytes"] = st.Log.ValueBytes
+	c["wal.forces"] = st.Log.Forces
+	c["wal.forces_coalesced"] = st.Log.ForcesCoalesced
+	c["wal.transient_retries"] = st.Log.TransientRetries
+	for t, n := range st.Log.Records {
+		c["wal.records."+t.String()] = n
+	}
+	for t, n := range st.Log.PayloadBytes {
+		c["wal.payload_bytes."+t.String()] = n
+	}
+	for k, n := range st.Log.OpPayloadBytes {
+		c["wal.op_payload_bytes."+k.String()] = n
+	}
+	c["stable.object_reads"] = st.Store.ObjectReads
+	c["stable.object_writes"] = st.Store.ObjectWrites
+	c["stable.object_write_bytes"] = st.Store.ObjectWriteBytes
+	c["stable.pointer_swings"] = st.Store.PointerSwings
+	c["stable.flushtxn_log_writes"] = st.Store.FlushTxnLogWrites
+	c["stable.flushtxn_log_bytes"] = st.Store.FlushTxnLogBytes
+	for m, n := range st.Store.Batches {
+		c["stable.batches."+m.String()] = n
+	}
+	c["cache.ops_executed"] = st.Cache.OpsExecuted
+	c["cache.installs"] = st.Cache.Installs
+	c["cache.identity_writes"] = st.Cache.IdentityWrites
+	c["cache.multi_object_flushes"] = st.Cache.MultiObjectFlushes
+	c["cache.objects_flushed"] = st.Cache.ObjectsFlushed
+	c["cache.installed_not_flushed"] = st.Cache.InstalledNotFlushed
+	c["cache.evictions"] = st.Cache.Evictions
+	c["cache.checkpoints"] = st.Cache.Checkpoints
+}
+
+// ResetStats zeroes every counter source — log, store, cache, and the obs
+// registry — atomically under the engine mutex, so benchmark phases start
+// from a consistent all-zero cut with no mutator racing the reset.
 func (e *Engine) ResetStats() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.log.ResetStats()
 	e.store.ResetStats()
+	e.mgr.ResetStats()
+	e.opts.Obs.Reset()
 }

@@ -1,0 +1,198 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	. "logicallog/internal/core"
+	"logicallog/internal/obs"
+	"logicallog/internal/op"
+)
+
+// obsEng builds an engine with a metrics registry (and optionally a tracer)
+// attached.
+func obsEng(t *testing.T, tracer *obs.Tracer) (*Engine, *obs.Registry) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Obs = obs.NewRegistry()
+	opts.Tracer = tracer
+	eng, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, opts.Obs
+}
+
+func TestMetricsUnifiesStatsAndRegistry(t *testing.T) {
+	eng, _ := obsEng(t, nil)
+	if err := eng.Execute(op.NewCreate("x", []byte("hello"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	m := eng.Metrics()
+	if m.Counters["cache.ops_executed"] != 1 {
+		t.Errorf("cache.ops_executed = %d", m.Counters["cache.ops_executed"])
+	}
+	if m.Counters["wal.bytes_appended"] == 0 || m.Counters["stable.object_writes"] == 0 {
+		t.Errorf("legacy counters missing from metrics view: %+v", m.Counters)
+	}
+	// The registry's hot-path histograms are in the same view.
+	if m.Histograms["wal.append.ns"].Count == 0 {
+		t.Errorf("wal.append.ns histogram empty; histograms = %v", m.Histograms)
+	}
+	if m.Histograms["cache.install.flush_set_size"].Count == 0 {
+		t.Errorf("flush-set-size histogram empty; histograms = %v", m.Histograms)
+	}
+}
+
+func TestResetStatsResetsEverySource(t *testing.T) {
+	eng, reg := obsEng(t, nil)
+	if err := eng.Execute(op.NewCreate("x", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Stats()
+	if before.Log.BytesAppended == 0 || before.Store.ObjectWrites == 0 || before.Cache.OpsExecuted == 0 {
+		t.Fatalf("expected non-zero counters before reset: %+v", before)
+	}
+	if reg.Histogram("wal.append.ns").Snapshot().Count == 0 {
+		t.Fatal("expected obs observations before reset")
+	}
+
+	eng.ResetStats()
+
+	after := eng.Stats()
+	if after.Log.BytesAppended != 0 || after.Log.Forces != 0 {
+		t.Errorf("log stats survived reset: %+v", after.Log)
+	}
+	if after.Store.ObjectWrites != 0 || after.Store.ObjectReads != 0 {
+		t.Errorf("store stats survived reset: %+v", after.Store)
+	}
+	if after.Cache.OpsExecuted != 0 || after.Cache.Installs != 0 || after.Cache.ObjectsFlushed != 0 {
+		t.Errorf("cache stats survived reset: %+v", after.Cache)
+	}
+	if n := reg.Histogram("wal.append.ns").Snapshot().Count; n != 0 {
+		t.Errorf("obs histogram survived reset: count=%d", n)
+	}
+}
+
+// TestMetricsCoherentUnderConcurrentExecute hammers the engine from
+// executor, snapshot, and reset goroutines at once: under -race this shakes
+// out torn cross-source reads, and the final quiescent snapshot must balance
+// exactly.
+func TestMetricsCoherentUnderConcurrentExecute(t *testing.T) {
+	eng, _ := obsEng(t, nil)
+	const writers, opsPer = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				id := op.ObjectID(fmt.Sprintf("o%d-%d", w, i))
+				if err := eng.Execute(op.NewCreate(id, []byte("v"))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Each Metrics() view is one coherent cut: ops land on the WAL
+			// and the cache inside the same engine critical section, so the
+			// two sources can never disagree within a snapshot.
+			m := eng.Metrics()
+			if ops, recs := m.Counters["cache.ops_executed"], m.Counters["wal.records.op"]; ops != recs {
+				t.Errorf("torn snapshot: cache.ops_executed=%d wal.records.op=%d", ops, recs)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	m := eng.Metrics()
+	if m.Counters["cache.ops_executed"] != writers*opsPer {
+		t.Errorf("cache.ops_executed = %d, want %d", m.Counters["cache.ops_executed"], writers*opsPer)
+	}
+	if got := m.Counters["wal.records.op"]; got != writers*opsPer {
+		t.Errorf("wal.records.op = %d, want %d", got, writers*opsPer)
+	}
+}
+
+// TestRecoveryTraceSpans drives a workload, crashes, recovers with parallel
+// redo, and checks the tracer captured the pipeline: restart and analysis on
+// the recovery lane, the partition phase, and per-worker chain spans.
+func TestRecoveryTraceSpans(t *testing.T) {
+	tracer := obs.NewTracer()
+	opts := DefaultOptions()
+	opts.Obs = obs.NewRegistry()
+	opts.Tracer = tracer
+	opts.RedoWorkers = 4
+	eng, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		id := op.ObjectID(fmt.Sprintf("x%d", i%8))
+		if err := eng.Execute(op.NewCreate(id, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Log().Force(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Crash()
+	if _, err := eng.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := tracer.Events()
+	spans := map[string]int{}
+	lanes := map[string]bool{}
+	for _, ev := range evs {
+		spans[ev.Name]++
+		lanes[ev.Lane] = true
+	}
+	for _, want := range []string{"restart", "analysis", "redo-scan", "redo-partition", "chain"} {
+		if spans[want] == 0 {
+			t.Errorf("missing %q span; got %v", want, spans)
+		}
+	}
+	if !lanes["recovery"] {
+		t.Errorf("missing recovery lane; lanes = %v", lanes)
+	}
+	workerLanes := 0
+	for name := range lanes {
+		if strings.HasPrefix(name, "redo-worker-") {
+			workerLanes++
+		}
+	}
+	if workerLanes == 0 {
+		t.Errorf("no per-worker lanes; lanes = %v", lanes)
+	}
+	// The partitioner's metrics landed in the registry.
+	m := eng.Metrics()
+	if m.Gauges["recovery.redo.chains"] == 0 {
+		t.Errorf("recovery.redo.chains gauge = %d", m.Gauges["recovery.redo.chains"])
+	}
+	if m.Histograms["recovery.redo.chain_ops"].Count == 0 {
+		t.Error("recovery.redo.chain_ops histogram empty")
+	}
+}

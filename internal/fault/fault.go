@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"logicallog/internal/obs"
 )
 
 // Channel names one injected I/O stream.
@@ -154,6 +156,30 @@ type Plan struct {
 	fired  []Point
 	dead   bool
 	healed bool
+	obs    planObs
+}
+
+// planObs holds the plan's per-channel metric handles (nil when no registry
+// is attached: every method is then a no-op).
+type planObs struct {
+	ios      [numChannels]*obs.Counter
+	injected [numChannels]*obs.Counter
+}
+
+// SetObs attaches a metrics registry: the plan counts every I/O it observes
+// ("fault.ios.<chan>") and every fault it injects ("fault.injected.<chan>").
+// A nil registry detaches.
+func (p *Plan) SetObs(r *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r == nil {
+		p.obs = planObs{}
+		return
+	}
+	for ch := Channel(0); ch < numChannels; ch++ {
+		p.obs.ios[ch] = r.Counter("fault.ios." + ch.String())
+		p.obs.injected[ch] = r.Counter("fault.injected." + ch.String())
+	}
 }
 
 // NewPlan arms the given points.  Arming two points at the same
@@ -184,6 +210,7 @@ func (p *Plan) advance(ch Channel) (Point, bool) {
 	}
 	idx := p.counts[ch]
 	p.counts[ch]++
+	p.obs.ios[ch].Inc()
 	key := planKey{ch, idx}
 	pt, ok := p.armed[key]
 	if !ok {
@@ -191,6 +218,9 @@ func (p *Plan) advance(ch Channel) (Point, bool) {
 	}
 	delete(p.armed, key)
 	p.fired = append(p.fired, pt)
+	if pt.Kind != KindNone {
+		p.obs.injected[ch].Inc()
+	}
 	if pt.Kind == KindTransient {
 		if pt.Arg > 1 {
 			// Fail the next retry too: Arg consecutive attempts.

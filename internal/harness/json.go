@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"logicallog/internal/obs"
+)
+
+// ReportSchema identifies the llbench JSON report format.  Bump only on
+// incompatible changes; additive fields keep the version.
+const ReportSchema = "llbench/v1"
+
+// DefaultObs, when non-nil, is attached (as Options.Obs) to every engine the
+// harness builds, so experiments feed the shared metrics registry that
+// RunReport snapshots per experiment (cmd/llbench's -json and -metrics
+// modes).  Mirrors DefaultRedoWorkers.
+var DefaultObs *obs.Registry
+
+// Report is llbench's machine-readable output: every experiment's result
+// table plus a per-experiment metrics snapshot and wall time.
+type Report struct {
+	// Schema is always ReportSchema ("llbench/v1").
+	Schema string `json:"schema"`
+	// GoVersion records the toolchain that produced the report.
+	GoVersion string `json:"go_version"`
+	// Experiments lists results in the order run.
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// ExperimentResult is one experiment's outcome.
+type ExperimentResult struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// WallMS is the experiment's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Table is the result table, cells pre-formatted exactly as the text
+	// renderer prints them.
+	Table TableResult `json:"table"`
+	// Metrics is the obs registry snapshot taken after the experiment
+	// (registry reset before each experiment; empty when no registry is
+	// installed).
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// TableResult is the JSON shape of a result Table.
+type TableResult struct {
+	Title   string     `json:"title"`
+	Paper   string     `json:"paper,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+func tableResult(t *Table) TableResult {
+	return TableResult{
+		Title:   t.Title,
+		Paper:   t.Paper,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}
+}
+
+// RunReport runs the given experiments and collects a Report.  Before each
+// experiment the DefaultObs registry (if installed) is reset so its snapshot
+// is attributable to that experiment alone.
+func RunReport(exps []Experiment) (*Report, error) {
+	rep := &Report{Schema: ReportSchema, GoVersion: runtime.Version()}
+	for _, e := range exps {
+		DefaultObs.Reset()
+		start := time.Now()
+		t, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", e.ID, err)
+		}
+		rep.Experiments = append(rep.Experiments, ExperimentResult{
+			ID:      e.ID,
+			Name:    e.Name,
+			WallMS:  float64(time.Since(start).Microseconds()) / 1000,
+			Table:   tableResult(t),
+			Metrics: DefaultObs.Snapshot(),
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON encodes the report, indented for diffable artifacts.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport decodes a report previously written by WriteJSON.  It rejects
+// unknown fields so schema drift is caught rather than silently dropped;
+// call ValidateReport for semantic checks.
+func ReadReport(rd io.Reader) (*Report, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	rep := &Report{}
+	if err := dec.Decode(rep); err != nil {
+		return nil, fmt.Errorf("harness: report decode: %w", err)
+	}
+	return rep, nil
+}
+
+// ValidateReport checks the structural invariants consumers rely on: schema
+// version, non-empty identifying fields, and rectangular tables (every row
+// exactly as wide as its column header).
+func ValidateReport(r *Report) error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("harness: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("harness: report missing go_version")
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("harness: report has no experiments")
+	}
+	for i, e := range r.Experiments {
+		if e.ID == "" || e.Name == "" {
+			return fmt.Errorf("harness: experiment %d missing id or name", i)
+		}
+		if e.WallMS < 0 {
+			return fmt.Errorf("harness: %s: negative wall_ms", e.ID)
+		}
+		if e.Table.Title == "" {
+			return fmt.Errorf("harness: %s: table missing title", e.ID)
+		}
+		if len(e.Table.Columns) == 0 {
+			return fmt.Errorf("harness: %s: table has no columns", e.ID)
+		}
+		for j, row := range e.Table.Rows {
+			if len(row) != len(e.Table.Columns) {
+				return fmt.Errorf("harness: %s: row %d has %d cells, want %d",
+					e.ID, j, len(row), len(e.Table.Columns))
+			}
+		}
+	}
+	return nil
+}

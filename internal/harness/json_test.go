@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"logicallog/internal/obs"
+)
+
+// fakeExperiments returns two cheap experiments so report tests do not pay
+// for the real suite.
+func fakeExperiments() []Experiment {
+	mk := func(id string) Experiment {
+		return Experiment{
+			ID:   id,
+			Name: id + " fake",
+			Run: func() (*Table, error) {
+				// Touch the registry so per-experiment snapshots have content.
+				DefaultObs.Counter("fake.runs").Inc()
+				t := &Table{ID: id, Title: id + " title", Columns: []string{"a", "b"}}
+				t.AddRow(1, 2)
+				return t, nil
+			},
+		}
+	}
+	return []Experiment{mk("F1"), mk("F2")}
+}
+
+func TestRunReportRoundTrip(t *testing.T) {
+	DefaultObs = obs.NewRegistry()
+	defer func() { DefaultObs = nil }()
+
+	rep, err := RunReport(fakeExperiments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(rep); err != nil {
+		t.Fatalf("fresh report invalid: %v", err)
+	}
+	if len(rep.Experiments) != 2 || rep.Experiments[0].ID != "F1" {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+	// The registry is reset per experiment: each snapshot sees exactly one
+	// fake.runs increment, not an accumulation.
+	for _, er := range rep.Experiments {
+		if n := er.Metrics.Counters["fake.runs"]; n != 1 {
+			t.Errorf("%s: fake.runs = %d, want 1 (per-experiment reset)", er.ID, n)
+		}
+		if er.WallMS < 0 {
+			t.Errorf("%s: wall_ms = %v", er.ID, er.WallMS)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(back); err != nil {
+		t.Errorf("round-tripped report invalid: %v", err)
+	}
+	if back.Schema != ReportSchema || len(back.Experiments) != 2 {
+		t.Errorf("round-trip = %+v", back)
+	}
+	if back.Experiments[1].Table.Rows[0][1] != "2" {
+		t.Errorf("table cells lost: %+v", back.Experiments[1].Table)
+	}
+}
+
+func TestReadReportRejectsUnknownFields(t *testing.T) {
+	j := `{"schema": "llbench/v1", "go_version": "go", "surprise": 1, "experiments": []}`
+	if _, err := ReadReport(strings.NewReader(j)); err == nil {
+		t.Error("unknown top-level field must be rejected")
+	}
+}
+
+func TestValidateReportRejections(t *testing.T) {
+	good := func() *Report {
+		return &Report{
+			Schema:    ReportSchema,
+			GoVersion: "go1.x",
+			Experiments: []ExperimentResult{{
+				ID: "E1", Name: "n",
+				Table: TableResult{Title: "t", Columns: []string{"a"}, Rows: [][]string{{"1"}}},
+			}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "llbench/v0" }, "schema"},
+		{"missing go version", func(r *Report) { r.GoVersion = "" }, "go_version"},
+		{"no experiments", func(r *Report) { r.Experiments = nil }, "no experiments"},
+		{"missing id", func(r *Report) { r.Experiments[0].ID = "" }, "missing id"},
+		{"negative wall", func(r *Report) { r.Experiments[0].WallMS = -1 }, "wall_ms"},
+		{"untitled table", func(r *Report) { r.Experiments[0].Table.Title = "" }, "title"},
+		{"no columns", func(r *Report) { r.Experiments[0].Table.Columns = nil }, "columns"},
+		{"ragged row", func(r *Report) { r.Experiments[0].Table.Rows = [][]string{{"1", "2"}} }, "cells"},
+	}
+	if err := ValidateReport(good()); err != nil {
+		t.Fatalf("baseline report invalid: %v", err)
+	}
+	for _, c := range cases {
+		r := good()
+		c.mutate(r)
+		err := ValidateReport(r)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRunReportRealExperiment smoke-tests the collector against one real
+// (cheap) experiment end to end.
+func TestRunReportRealExperiment(t *testing.T) {
+	DefaultObs = obs.NewRegistry()
+	defer func() { DefaultObs = nil }()
+	e, ok := Find("E1")
+	if !ok {
+		t.Fatal("E1 not found")
+	}
+	rep, err := RunReport([]Experiment{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Experiments[0].Metrics
+	if m.Histograms["wal.append.ns"].Count == 0 {
+		t.Errorf("E1 metrics missing wal.append.ns: %v", m.Histograms)
+	}
+}

@@ -83,6 +83,7 @@ func Analyzers() []*Analyzer {
 		ForceCheck,
 		AtomicMix,
 		LogRecPurity,
+		SpanEnd,
 	}
 }
 

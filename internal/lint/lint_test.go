@@ -89,6 +89,7 @@ func TestLockOrderFixture(t *testing.T)    { runFixture(t, LockOrder, "lockorder
 func TestForceCheckFixture(t *testing.T)   { runFixture(t, ForceCheck, "forcecheck") }
 func TestAtomicMixFixture(t *testing.T)    { runFixture(t, AtomicMix, "atomicmix") }
 func TestLogRecPurityFixture(t *testing.T) { runFixture(t, LogRecPurity, "logrecpurity") }
+func TestSpanEndFixture(t *testing.T)      { runFixture(t, SpanEnd, "spanend") }
 
 // TestSuppression exercises //lint:ignore in both placements (leading line
 // and trailing comment), plus the negative case: a directive naming a
@@ -130,7 +131,7 @@ func TestMalformedDirective(t *testing.T) {
 
 // TestAnalyzerRegistry pins the suite membership and name lookup.
 func TestAnalyzerRegistry(t *testing.T) {
-	names := []string{"replaydeterminism", "lockorder", "forcecheck", "atomicmix", "logrecpurity"}
+	names := []string{"replaydeterminism", "lockorder", "forcecheck", "atomicmix", "logrecpurity", "spanend"}
 	as := Analyzers()
 	if len(as) != len(names) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(names))

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd enforces the tracing discipline that came with internal/obs: a
+// *Span returned by Lane.Begin must be retained so End can be called — a
+// span whose handle is discarded (expression statement, or assigned to the
+// blank identifier) stays open forever, which makes every exported
+// Chrome-trace timeline show a phase that never finished and corrupts the
+// phase-total summary.  The nil-safe API makes the discard easy to write
+// and impossible to notice at runtime, hence the static check.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "flags Lane.Begin calls whose *Span result is discarded " +
+		"(expression statement or assignment to _): the span can never be ended",
+	Run: runSpanEnd,
+}
+
+func runSpanEnd(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && spanBeginCall(p.Info, call) {
+					p.Reportf(call.Pos(),
+						"span from Lane.Begin is discarded and can never be ended")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !spanBeginCall(p.Info, call) {
+					return true
+				}
+				if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					p.Reportf(call.Pos(),
+						"span from Lane.Begin is assigned to _ and can never be ended")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanBeginCall reports whether call is Lane.Begin returning a *Span.
+func spanBeginCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObject(info, call).(*types.Func)
+	if !ok || fn.Name() != "Begin" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil || recv.Obj().Name() != "Lane" {
+		return false
+	}
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	res := namedOf(sig.Results().At(0).Type())
+	return res != nil && res.Obj().Name() == "Span"
+}

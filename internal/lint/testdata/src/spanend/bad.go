@@ -1,0 +1,9 @@
+package spanend
+
+func beginDiscarded(l *Lane) {
+	l.Begin("analysis") // want "discarded and can never be ended"
+}
+
+func beginToBlank(l *Lane) {
+	_ = l.Begin("redo") // want "assigned to _ and can never be ended"
+}

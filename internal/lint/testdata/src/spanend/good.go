@@ -1,0 +1,26 @@
+// Package spanend mirrors the shape of internal/obs's Lane/Span tracing API
+// so the fixture exercises the analyzer without importing the real package.
+package spanend
+
+type Lane struct{}
+
+type Span struct{}
+
+func (l *Lane) Begin(name string) *Span { return &Span{} }
+
+func (l *Lane) Instant(name string) {}
+
+func (s *Span) End() {}
+
+func beginEnded(l *Lane) {
+	sp := l.Begin("analysis")
+	defer sp.End()
+}
+
+func beginReturned(l *Lane) *Span {
+	return l.Begin("redo") // retained by the caller: fine
+}
+
+func instantIsFine(l *Lane) {
+	l.Instant("decision") // instants are point events, nothing to end
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ServeDebug starts an HTTP debug endpoint on addr (e.g. "localhost:6060")
+// exposing:
+//
+//	/debug/vars        expvar, including the live metrics snapshot under "llmetrics"
+//	/debug/pprof/...   net/http/pprof profiles
+//	/metrics           the snapshot() JSON alone
+//
+// snapshot is called per request, so the published metrics are always
+// current.  The listener is returned so callers (and tests) can learn the
+// bound address and close it; the server itself runs on a background
+// goroutine for the life of the listener.
+func ServeDebug(addr string, snapshot func() Snapshot) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(snapshot())
+	})
+	publishExpvar(snapshot)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}
+
+var expvarPublished = false
+
+// publishExpvar registers the metrics snapshot under expvar once per
+// process (expvar panics on duplicate names).
+func publishExpvar(snapshot func() Snapshot) {
+	if expvarPublished {
+		return
+	}
+	expvarPublished = true
+	expvar.Publish("llmetrics", expvar.Func(func() any { return snapshot() }))
+}
+
+// Profiles runs CPU/heap profiling and the Go runtime execution tracer for
+// the life of a command, driven by the standard -cpuprofile, -memprofile,
+// and -runtime-trace flags of llrun/llbench.
+type Profiles struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// StartProfiles begins collection for each non-empty path.  Call Stop
+// before exit to flush; an error starting any collector aborts the rest.
+func StartProfiles(cpuPath, memPath, runtimeTracePath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if runtimeTracePath != "" {
+		f, err := os.Create(runtimeTracePath)
+		if err != nil {
+			p.Stop()
+			return nil, fmt.Errorf("obs: runtime-trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.Stop()
+			return nil, fmt.Errorf("obs: runtime-trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return p, nil
+}
+
+// Stop flushes and closes every active collector.  The heap profile is
+// written at Stop time (after a GC, so it reflects live objects).
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.cpuFile = nil
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.traceFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		p.memPath = ""
+	}
+	return firstErr
+}

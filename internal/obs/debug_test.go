@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeDebugMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wal.forces").Add(9)
+	ln, err := ServeDebug("127.0.0.1:0", r.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["wal.forces"] != 9 {
+		t.Errorf("served snapshot = %+v", s)
+	}
+
+	vars, err := http.Get(fmt.Sprintf("http://%s/debug/vars", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vars.Body.Close()
+	body, err := io.ReadAll(vars.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var published map[string]json.RawMessage
+	if err := json.Unmarshal(body, &published); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	if _, ok := published["llmetrics"]; !ok {
+		t.Error("expvar output missing llmetrics")
+	}
+}

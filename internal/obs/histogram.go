@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 buckets: bucket 0 holds values <= 0,
+// bucket i (1 <= i <= 63) holds values v with bits.Len64(v) == i, i.e.
+// 2^(i-1) <= v < 2^i.  The top bucket (63) runs to MaxInt64, so the whole
+// positive int64 range is covered.
+const histBuckets = 64
+
+// Histogram is a lock-free log2-bucketed histogram for latencies (observed
+// in nanoseconds) and sizes (bytes, records, objects).  Updates are a small,
+// fixed number of atomic operations; Count/Sum/Min/Max are tracked exactly,
+// the distribution at power-of-two resolution.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLow returns the smallest value landing in bucket i (0 for the
+// non-positive bucket).
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// BucketHigh returns the largest value landing in bucket i.
+func BucketHigh(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records one value.  Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Since records the nanoseconds elapsed since start.  Safe on a nil
+// receiver, where it also skips the clock read entirely.
+func (h *Histogram) Since(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Enabled reports whether the histogram records anything; hot paths use it
+// to skip timestamping when instrumentation is off.
+func (h *Histogram) Enabled() bool { return h != nil }
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Bucket is one non-empty histogram bucket: Count values in [Low, High].
+type Bucket struct {
+	Low   int64 `json:"low"`
+	High  int64 `json:"high"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time histogram copy.  Min/Max are zero
+// when Count is zero.  Because updates are lock-free, a snapshot taken
+// concurrently with Observe may be mid-update (e.g. count ahead of a
+// bucket); totals are never lost.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of observed values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot copies the histogram's current state, listing only non-empty
+// buckets.  A nil histogram yields a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Low: BucketLow(i), High: BucketHigh(i), Count: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{(1 << 10) - 1, 10},
+		{1 << 10, 11},
+		{1 << 62, 63},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	if BucketLow(0) != 0 || BucketHigh(0) != 0 {
+		t.Errorf("bucket 0 bounds = [%d, %d]", BucketLow(0), BucketHigh(0))
+	}
+	for i := 1; i < histBuckets; i++ {
+		low, high := BucketLow(i), BucketHigh(i)
+		if low != int64(1)<<(i-1) {
+			t.Errorf("BucketLow(%d) = %d", i, low)
+		}
+		if bucketIndex(low) != i || bucketIndex(high) != i {
+			t.Errorf("bucket %d bounds [%d, %d] do not map back to bucket %d", i, low, high, i)
+		}
+		// The value below the bucket's low bound lands in the bucket below.
+		if bucketIndex(low-1) != i-1 {
+			t.Errorf("bucketIndex(%d) = %d, want %d", low-1, bucketIndex(low-1), i-1)
+		}
+	}
+	if BucketHigh(histBuckets-1) != math.MaxInt64 {
+		t.Errorf("top BucketHigh = %d", BucketHigh(histBuckets-1))
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []int64{-3, 0, 1, 3, 3, 1024} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 1028 || s.Min != -3 || s.Max != 1024 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Mean() != 1028.0/6.0 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Buckets: [-3, 0] -> bucket 0 (x2), 1 -> bucket 1, 3 -> bucket 2 (x2),
+	// 1024 -> bucket 11.
+	want := []Bucket{
+		{Low: 0, High: 0, Count: 2},
+		{Low: 1, High: 1, Count: 1},
+		{Low: 2, High: 3, Count: 2},
+		{Low: 1024, High: 2047, Count: 1},
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Errorf("bucket[%d] = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	h := newHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || s.Mean() != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramConcurrentExact(t *testing.T) {
+	h := newHistogram()
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := int64(0); j < perG; j++ {
+				h.Observe(base + j)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	if s.Min != 0 || s.Max != goroutines-1+perG-1 {
+		t.Errorf("min/max = %d/%d", s.Min, s.Max)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}

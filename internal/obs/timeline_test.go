@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTimeline(&buf, goldenTrace().Events())
+	out := buf.String()
+	for _, want := range []string{
+		"timeline: 4 events",
+		"-- lane recovery",
+		"-- lane redo-worker-00",
+		"restart",
+		"analysis",
+		"chain",
+		"{analyzed_records=18 dirty_objects=5}",
+		"-- phase totals",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTimeline(&buf, nil)
+	if !strings.Contains(buf.String(), "no trace events") {
+		t.Errorf("empty timeline = %q", buf.String())
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace builds a small deterministic recovery-shaped trace: a
+// coordinator lane with nested phases and one worker lane, driven by the
+// step clock so offsets are stable across runs.
+func goldenTrace() *Tracer {
+	tr := stepTracer()
+	rec := tr.Lane("recovery")
+	restart := rec.Begin("restart")
+	restart.End()
+	analysis := rec.Begin("analysis").Arg("analyzed_records", 18).Arg("dirty_objects", 5)
+	analysis.End()
+	w := tr.Lane("redo-worker-00")
+	chain := w.Begin("chain").Arg("ops", 4)
+	w.Instant("redo-decision", map[string]any{"lsn": 7})
+	chain.End()
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := goldenTrace()
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip: %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Name != w.Name || g.Lane != w.Lane || g.Phase != w.Phase || g.Depth != w.Depth {
+			t.Errorf("event %d: got %+v, want %+v", i, g, w)
+		}
+		// Timestamps survive the microsecond wire format to within rounding.
+		if d := g.Start - w.Start; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("event %d start drift %v", i, d)
+		}
+		if d := g.Dur - w.Dur; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("event %d dur drift %v", i, d)
+		}
+	}
+}
+
+func TestReadChromeTraceBareArray(t *testing.T) {
+	bare := `[
+	 {"name": "thread_name", "ph": "M", "pid": 1, "tid": 4, "args": {"name": "redo"}},
+	 {"name": "outer", "ph": "X", "ts": 0, "dur": 100, "pid": 1, "tid": 4},
+	 {"name": "inner", "ph": "X", "ts": 10, "dur": 20, "pid": 1, "tid": 4},
+	 {"name": "later", "ph": "X", "ts": 50, "dur": 10, "pid": 1, "tid": 4}
+	]`
+	evs, err := ReadChromeTrace(bytes.NewReader([]byte(bare)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	depths := map[string]int{}
+	for _, ev := range evs {
+		if ev.Lane != "redo" {
+			t.Errorf("lane = %q", ev.Lane)
+		}
+		depths[ev.Name] = ev.Depth
+	}
+	// Depth is recomputed from interval containment: inner and later both
+	// nest inside outer.
+	if depths["outer"] != 0 || depths["inner"] != 1 || depths["later"] != 1 {
+		t.Errorf("depths = %v", depths)
+	}
+}
+
+func TestReadChromeTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadChromeTrace(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("expected an error for non-JSON input")
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer collects timing spans from the recovery pipeline (and any other
+// instrumented path) and exports them as a Chrome/Perfetto trace_event file
+// or a text timeline.
+//
+// Spans are organized into lanes: a Lane is a per-goroutine span stack, so
+// each concurrent actor (the analysis pass, each parallel-redo worker)
+// traces into its own lane and nested Begin/End pairs within a lane record
+// their nesting depth.  Lane allocation and finished-span collection are
+// mutex-protected; Begin/End on a lane are otherwise lock-free and owned by
+// the lane's goroutine.
+//
+// A nil *Tracer disables tracing: Lane returns a nil *Lane, whose Begin
+// returns a nil *Span, and every method on those is a no-op — call sites
+// need no conditionals.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	nextTID int64
+	clock   func() time.Duration // monotonic time since tracer start
+}
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer {
+	start := time.Now()
+	return &Tracer{clock: func() time.Duration { return time.Since(start) }}
+}
+
+// Event is one finished trace event.  Start/Dur are offsets from the
+// tracer's start instant.
+type Event struct {
+	// Name is the span or instant name.
+	Name string
+	// Lane is the owning lane's name.
+	Lane string
+	// TID is the lane id (maps to the Chrome trace tid).
+	TID int64
+	// Phase is "X" for a complete span, "i" for an instant event.
+	Phase string
+	// Depth is the span's nesting depth within its lane (0 = top level).
+	Depth int
+	// Start is the offset from tracer start.
+	Start time.Duration
+	// Dur is the span duration (0 for instants).
+	Dur time.Duration
+	// Args carries event annotations (counts, decisions).
+	Args map[string]any
+}
+
+// End returns the event's end offset.
+func (e Event) End() time.Duration { return e.Start + e.Dur }
+
+// Lane allocates a new lane with the given display name.  Each lane must be
+// used by a single goroutine at a time.  Nil-safe: a nil tracer returns a
+// nil lane.
+func (t *Tracer) Lane(name string) *Lane {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextTID++
+	return &Lane{t: t, tid: t.nextTID, name: name}
+}
+
+// Events returns the finished events sorted by start offset (ties broken by
+// lane id, then name, so concurrent lanes export deterministically).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sortEvents(out)
+	return out
+}
+
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		if evs[i].TID != evs[j].TID {
+			return evs[i].TID < evs[j].TID
+		}
+		return evs[i].Name < evs[j].Name
+	})
+}
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Lane is one actor's span stack; see Tracer.
+type Lane struct {
+	t     *Tracer
+	tid   int64
+	name  string
+	depth int
+}
+
+// Name returns the lane's display name ("" on a nil lane).
+func (l *Lane) Name() string {
+	if l == nil {
+		return ""
+	}
+	return l.name
+}
+
+// Begin opens a span.  The returned span must be closed with End by the
+// same goroutine.  Nil-safe.
+func (l *Lane) Begin(name string) *Span {
+	if l == nil {
+		return nil
+	}
+	s := &Span{lane: l, name: name, start: l.t.clock(), depth: l.depth}
+	l.depth++
+	return s
+}
+
+// Instant records a zero-duration marker event.  Nil-safe.
+func (l *Lane) Instant(name string, args map[string]any) {
+	if l == nil {
+		return
+	}
+	l.t.record(Event{
+		Name:  name,
+		Lane:  l.name,
+		TID:   l.tid,
+		Phase: "i",
+		Depth: l.depth,
+		Start: l.t.clock(),
+		Args:  args,
+	})
+}
+
+// Span is an open interval on a lane.
+type Span struct {
+	lane  *Lane
+	name  string
+	start time.Duration
+	depth int
+	args  map[string]any
+}
+
+// Arg annotates the span; chainable.  Nil-safe.
+func (s *Span) Arg(key string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = v
+	return s
+}
+
+// End closes the span and records it.  Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	l := s.lane
+	l.depth--
+	end := l.t.clock()
+	l.t.record(Event{
+		Name:  s.name,
+		Lane:  l.name,
+		TID:   l.tid,
+		Phase: "X",
+		Depth: s.depth,
+		Start: s.start,
+		Dur:   end - s.start,
+		Args:  s.args,
+	})
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepTracer returns a tracer whose clock advances one microsecond per
+// reading, so tests (and the golden trace file) are fully deterministic.
+func stepTracer() *Tracer {
+	var now time.Duration
+	return &Tracer{clock: func() time.Duration {
+		now += time.Microsecond
+		return now
+	}}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	lane := tr.Lane("x")
+	if lane != nil {
+		t.Fatal("nil tracer must return a nil lane")
+	}
+	sp := lane.Begin("a")
+	if sp != nil {
+		t.Fatal("nil lane must return a nil span")
+	}
+	sp.Arg("k", 1).End() // no-ops, no panics
+	lane.Instant("i", nil)
+	if lane.Name() != "" {
+		t.Error("nil lane name")
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("nil tracer events = %v", evs)
+	}
+}
+
+func TestSpanNestingDepths(t *testing.T) {
+	tr := stepTracer()
+	lane := tr.Lane("recovery")
+	outer := lane.Begin("outer")
+	inner := lane.Begin("inner").Arg("n", 3)
+	lane.Instant("mark", map[string]any{"at": "inner"})
+	inner.End()
+	outer.End()
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	byName := map[string]Event{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	if byName["outer"].Depth != 0 || byName["inner"].Depth != 1 {
+		t.Errorf("depths: outer=%d inner=%d", byName["outer"].Depth, byName["inner"].Depth)
+	}
+	if byName["mark"].Depth != 2 || byName["mark"].Phase != "i" || byName["mark"].Dur != 0 {
+		t.Errorf("instant = %+v", byName["mark"])
+	}
+	if byName["inner"].Args["n"] != 3 {
+		t.Errorf("inner args = %v", byName["inner"].Args)
+	}
+	in, out := byName["inner"], byName["outer"]
+	if in.Start < out.Start || in.End() > out.End() {
+		t.Errorf("inner [%v, %v] not contained in outer [%v, %v]",
+			in.Start, in.End(), out.Start, out.End())
+	}
+	if out.Lane != "recovery" || out.Phase != "X" {
+		t.Errorf("outer = %+v", out)
+	}
+}
+
+func TestParallelLanes(t *testing.T) {
+	tr := NewTracer()
+	const lanes, spansPer = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lane := tr.Lane(fmt.Sprintf("worker-%d", i))
+			for j := 0; j < spansPer; j++ {
+				sp := lane.Begin("unit")
+				lane.Instant("tick", nil)
+				sp.Arg("j", j).End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != lanes*spansPer*2 {
+		t.Fatalf("got %d events, want %d", len(evs), lanes*spansPer*2)
+	}
+	// Events are sorted by start offset; every span is closed at depth 0
+	// within its own lane (one open span at a time per lane).
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatal("events not sorted by start")
+		}
+	}
+	perLane := map[int64]int{}
+	for _, ev := range evs {
+		perLane[ev.TID]++
+		if ev.Phase == "X" && ev.Depth != 0 {
+			t.Fatalf("span at depth %d, want 0: %+v", ev.Depth, ev)
+		}
+	}
+	if len(perLane) != lanes {
+		t.Errorf("got %d lanes, want %d", len(perLane), lanes)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"logicallog/internal/cache"
+	"logicallog/internal/obs"
 	"logicallog/internal/op"
 	"logicallog/internal/wal"
 )
@@ -137,9 +138,15 @@ func (c *redoCounters) add(d redoCounters) {
 
 // redoChain replays one dependency chain serially in log order, exactly as
 // the serial redo loop would.  stop is checked between operations so one
-// chain's failure aborts the others promptly.
-func redoChain(mgr *cache.Manager, dot dirtyTable, opts Options, traceMu *sync.Mutex, stop *atomic.Bool, chain []*op.Operation) (redoCounters, error) {
-	var c redoCounters
+// chain's failure aborts the others promptly.  lane, when tracing, is the
+// executing worker's span lane; the chain span records the chain's length
+// and outcome counters.
+func redoChain(mgr *cache.Manager, dot dirtyTable, opts Options, traceMu *sync.Mutex, stop *atomic.Bool, chain []*op.Operation, lane *obs.Lane) (c redoCounters, err error) {
+	sp := lane.Begin("chain")
+	defer func() {
+		sp.Arg("ops", len(chain)).Arg("first_lsn", int64(chain[0].LSN)).
+			Arg("redone", c.redone).Arg("voided", c.voided).End()
+	}()
 	for _, o := range chain {
 		if stop.Load() {
 			return c, nil
@@ -181,8 +188,11 @@ func traceLocked(opts Options, mu *sync.Mutex, o *op.Operation, decision string)
 
 // redoParallel runs the redo pass over the scanner with the given worker
 // count: it drains the scan, partitions the stream into dependency chains,
-// and dispatches whole chains onto the pool.  Counters land in res.
-func redoParallel(sc *wal.Scanner, mgr *cache.Manager, dot dirtyTable, opts Options, workers int, res *Result) error {
+// and dispatches whole chains onto the pool.  Counters land in res; lane
+// (nil-safe) carries the coordinator's scan/partition spans, and each
+// worker traces its chains into its own lane.
+func redoParallel(sc *wal.Scanner, mgr *cache.Manager, dot dirtyTable, opts Options, workers int, res *Result, lane *obs.Lane) error {
+	sp := lane.Begin("redo-scan")
 	var ops []*op.Operation
 	for {
 		rec, err := sc.Next()
@@ -190,6 +200,7 @@ func redoParallel(sc *wal.Scanner, mgr *cache.Manager, dot dirtyTable, opts Opti
 			break
 		}
 		if err != nil {
+			sp.End()
 			return err
 		}
 		if rec.Type != wal.RecOperation {
@@ -198,9 +209,21 @@ func redoParallel(sc *wal.Scanner, mgr *cache.Manager, dot dirtyTable, opts Opti
 		ops = append(ops, rec.Op)
 	}
 	res.ScannedOps = len(ops)
+	sp.Arg("ops", len(ops)).End()
+
+	sp = lane.Begin("redo-partition")
 	chains := partitionChains(ops)
 	if workers > len(chains) {
 		workers = len(chains)
+	}
+	sp.Arg("chains", len(chains)).Arg("workers", workers).End()
+	if reg := opts.Obs; reg != nil {
+		reg.Gauge("recovery.redo.chains").Set(int64(len(chains)))
+		reg.Gauge("recovery.redo.workers").Set(int64(workers))
+		h := reg.Histogram("recovery.redo.chain_ops")
+		for _, chain := range chains {
+			h.Observe(int64(len(chain)))
+		}
 	}
 
 	var (
@@ -215,10 +238,14 @@ func redoParallel(sc *wal.Scanner, mgr *cache.Manager, dot dirtyTable, opts Opti
 	work := make(chan []*op.Operation)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			var wl *obs.Lane
+			if opts.Tracer != nil {
+				wl = opts.Tracer.Lane(fmt.Sprintf("redo-worker-%02d", worker))
+			}
 			for chain := range work {
-				c, err := redoChain(mgr, dot, opts, &traceMu, &stop, chain)
+				c, err := redoChain(mgr, dot, opts, &traceMu, &stop, chain, wl)
 				totalMu.Lock()
 				total.add(c)
 				totalMu.Unlock()
@@ -231,7 +258,7 @@ func redoParallel(sc *wal.Scanner, mgr *cache.Manager, dot dirtyTable, opts Opti
 					errMu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	for _, chain := range chains {
 		if stop.Load() {

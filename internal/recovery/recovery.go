@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"logicallog/internal/cache"
+	"logicallog/internal/obs"
 	"logicallog/internal/op"
 	"logicallog/internal/stable"
 	"logicallog/internal/wal"
@@ -71,6 +72,16 @@ type Options struct {
 	// "skip-installed", "skip-unexposed", "voided") as it is made.  Debug
 	// and inspection use only.
 	Trace func(o *op.Operation, decision string)
+	// Tracer, when non-nil, records the recovery pipeline's phase spans —
+	// restart, flush-txn repair, analysis, redo-chain partitioning, and one
+	// lane per redo worker with a span per replayed dependency chain.
+	// Timing is observational only: it never feeds replay ordering, so
+	// traced runs recover bit-identical state.
+	Tracer *obs.Tracer
+	// Obs, when non-nil, receives recovery metrics: the dependency-chain
+	// count and per-chain operation-count distribution of the parallel redo
+	// partitioner.
+	Obs *obs.Registry
 }
 
 // Result reports what recovery did.
@@ -115,20 +126,26 @@ type dirtyTable map[op.ObjectID]op.SI
 // undone).
 func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 	res := &Result{}
+	lane := opts.Tracer.Lane("recovery")
 
 	// Restart the log over its device first, as a process restart would:
 	// trim the untrustworthy debris of a torn, bit-flipped, or reordered
 	// final append, and re-derive the LSN horizon from the durable log so
 	// post-recovery appends keep it gap-free (see wal.Log.Restart).
+	sp := lane.Begin("restart")
 	if err := log.Restart(); err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.End()
 
 	// Step 0: finish any committed-but-interrupted flush transaction, as
 	// restart processing replays the flush-transaction log.
 	if store.HasPending() {
+		sp = lane.Begin("flush-txn-repair")
 		store.RecoverPending()
 		res.PendingFlushTxnRepaired = true
+		sp.End()
 	}
 
 	mgr, err := cache.NewManager(opts.Cache, log, store)
@@ -138,10 +155,16 @@ func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 	res.Manager = mgr
 
 	// Analysis pass.
+	sp = lane.Begin("analysis")
 	dot, err := analyze(log, res, opts.Test)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Arg("analyzed_records", res.AnalyzedRecords).
+		Arg("dirty_objects", len(dot)).
+		Arg("checkpoint_lsn", int64(res.CheckpointLSN)).
+		End()
 
 	// Redo scan start point: the minimum rSI over the reconstructed dirty
 	// object table.  With an empty table nothing needs redo, but scanning
@@ -161,11 +184,18 @@ func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if workers := resolveWorkers(opts.RedoWorkers); workers > 1 {
-		if err := redoParallel(sc, mgr, dot, opts, workers, res); err != nil {
+		if err := redoParallel(sc, mgr, dot, opts, workers, res, lane); err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
+	sp = lane.Begin("redo-serial")
+	defer func() {
+		sp.Arg("scanned", res.ScannedOps).Arg("redone", res.Redone).
+			Arg("skipped_installed", res.SkippedInstalled).
+			Arg("skipped_unexposed", res.SkippedUnexposed).
+			Arg("voided", res.Voided).End()
+	}()
 	for {
 		rec, err := sc.Next()
 		if errors.Is(err, io.EOF) {

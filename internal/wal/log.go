@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"logicallog/internal/obs"
 	"logicallog/internal/op"
 )
 
@@ -41,6 +42,41 @@ type Log struct {
 	retryCap  time.Duration
 
 	stats Stats
+	obs   logObs
+}
+
+// logObs holds the log's optional hot-path metrics (see SetObs).  All
+// handles are nil when observability is off; every update below is nil-safe
+// and clock reads are guarded, so the disabled overhead is a pointer test.
+type logObs struct {
+	// appendNs is the Append latency (encode + tail buffering), in ns.
+	appendNs *obs.Histogram
+	// forceDeviceNs is the per-force device write latency, in ns.
+	forceDeviceNs *obs.Histogram
+	// forceBatchRecords is the group-commit batch size distribution: log
+	// records made durable per device write.
+	forceBatchRecords *obs.Histogram
+	// forceBatchBytes is the framed bytes per device write.
+	forceBatchBytes *obs.Histogram
+	// retryBackoffNs is the transient-retry backoff slept per attempt.
+	retryBackoffNs *obs.Histogram
+}
+
+// SetObs wires the log's hot-path metrics into r; nil disables them.
+func (l *Log) SetObs(r *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r == nil {
+		l.obs = logObs{}
+		return
+	}
+	l.obs = logObs{
+		appendNs:          r.Histogram("wal.append.ns"),
+		forceDeviceNs:     r.Histogram("wal.force.device_ns"),
+		forceBatchRecords: r.Histogram("wal.force.batch_records"),
+		forceBatchBytes:   r.Histogram("wal.force.batch_bytes"),
+		retryBackoffNs:    r.Histogram("wal.retry.backoff_ns"),
+	}
 }
 
 type pending struct {
@@ -193,6 +229,10 @@ func (l *Log) SetRetryPolicy(maxRetries int, base, cap time.Duration) {
 func (l *Log) Append(rec *Record) (op.SI, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var appendStart time.Time
+	if l.obs.appendNs.Enabled() {
+		appendStart = time.Now()
+	}
 	rec.LSN = l.nextLSN
 	if rec.Op != nil {
 		rec.Op.LSN = rec.LSN
@@ -217,6 +257,9 @@ func (l *Log) Append(rec *Record) (op.SI, error) {
 		for _, v := range rec.Op.Values {
 			l.stats.ValueBytes += int64(len(v))
 		}
+	}
+	if l.obs.appendNs.Enabled() {
+		l.obs.appendNs.Since(appendStart)
 	}
 	return rec.LSN, nil
 }
@@ -292,13 +335,25 @@ func (l *Log) forceLocked(lsn op.SI) error {
 	}
 	l.forcing = true
 	retryMax, retryBase, retryCap := l.retryMax, l.retryBase, l.retryCap
+	hooks := l.obs
 	l.mu.Unlock()
+	var deviceStart time.Time
+	if hooks.forceDeviceNs.Enabled() {
+		deviceStart = time.Now()
+	}
 	err := l.dev.Append(buf)
 	var retries int64
 	for attempt := 1; err != nil && attempt <= retryMax && IsTransient(err); attempt++ {
-		time.Sleep(TransientBackoff(attempt, retryBase, retryCap))
+		backoff := TransientBackoff(attempt, retryBase, retryCap)
+		hooks.retryBackoffNs.ObserveDuration(backoff)
+		time.Sleep(backoff)
 		retries++
 		err = l.dev.Append(buf)
+	}
+	if hooks.forceDeviceNs.Enabled() {
+		hooks.forceDeviceNs.Since(deviceStart)
+		hooks.forceBatchRecords.Observe(int64(n))
+		hooks.forceBatchBytes.Observe(int64(len(buf)))
 	}
 	l.mu.Lock()
 	l.forcing = false
