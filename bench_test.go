@@ -22,6 +22,7 @@ import (
 	"logicallog/internal/obs"
 	"logicallog/internal/op"
 	"logicallog/internal/recovery"
+	"logicallog/internal/ship"
 	"logicallog/internal/sim"
 	"logicallog/internal/stable"
 	"logicallog/internal/wal"
@@ -397,6 +398,66 @@ func BenchmarkE10ScanLength(b *testing.B) {
 				scanned += int64(res.ScannedOps)
 			}
 			b.ReportMetric(float64(scanned)/float64(b.N), "scanned/recovery")
+		})
+	}
+}
+
+// BenchmarkE11ShipLag — log shipping: a 400-op workload streamed to a warm
+// standby one batch per step, then failover.  Headline metrics are peak
+// replication lag (records) and promotion time per failover.
+func BenchmarkE11ShipLag(b *testing.B) {
+	for _, batch := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			var peakLag, promoteNs int64
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				eng := mustEngine(b, opts)
+				sb, err := ship.NewStandby(ship.StandbyConfig{Opts: opts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := ship.NewSender(eng.Log(), ship.NewLink(sb, nil), 1, ship.SenderConfig{BatchRecords: batch})
+				gen, err := workload.NewGenerator(workload.DefaultSpec(77))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, o := range gen.Stream() {
+					if err := eng.Execute(o); err != nil {
+						b.Fatal(err)
+					}
+					if j%3 == 2 {
+						if err := eng.Log().Force(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if j%11 == 7 {
+						if err := eng.InstallOne(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, lagRecords := s.Lag(); lagRecords > peakLag {
+						peakLag = lagRecords
+					}
+					if _, err := s.Pump(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := eng.Log().Force(); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Sync(); err != nil {
+					b.Fatal(err)
+				}
+				eng.Crash()
+				start := time.Now()
+				if _, _, err := sb.Promote(); err != nil {
+					b.Fatal(err)
+				}
+				promoteNs += time.Since(start).Nanoseconds()
+				s.Close()
+			}
+			b.ReportMetric(float64(peakLag), "peaklag-records")
+			b.ReportMetric(float64(promoteNs)/float64(b.N)/1e6, "promote-ms")
 		})
 	}
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	llrun [-steps N] [-seed S] [-wal path] [-physio] [-w] [-vsi] [-faults token]
+//	      [-standby] [-ship-batch R]
 //	      [-trace-out trace.json] [-metrics] [-debug-addr host:port]
 //	      [-cpuprofile p] [-memprofile p] [-runtime-trace p]
 package main
@@ -22,6 +23,7 @@ import (
 	"logicallog/internal/fault"
 	"logicallog/internal/obs"
 	"logicallog/internal/recovery"
+	"logicallog/internal/ship"
 	"logicallog/internal/sim"
 	"logicallog/internal/wal"
 	"logicallog/internal/writegraph"
@@ -36,6 +38,8 @@ func main() {
 	vsi := flag.Bool("vsi", false, "use the classic vSI REDO test instead of generalized rSIs")
 	redoWorkers := flag.Int("redo-workers", 0, "parallel redo worker count (0 = GOMAXPROCS, 1 = serial)")
 	faults := flag.String("faults", "", `fault plan token, e.g. "wal@17:torn=3+stable@4:eio" (see internal/fault)`)
+	standby := flag.Bool("standby", false, "ship the log to a warm standby during the run and promote it after the crash (llship is the full demo)")
+	shipBatch := flag.Int("ship-batch", 16, "ship batch size in records (with -standby)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the recovery pipeline to this path")
 	metrics := flag.Bool("metrics", false, "print the unified metrics snapshot (and recovery timeline) after the run")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, and /metrics on this address")
@@ -112,6 +116,23 @@ func main() {
 	sc := sim.DefaultScenario(*seed)
 	sc.Steps = *steps
 
+	var (
+		sb     *ship.Standby
+		sender *ship.Sender
+	)
+	if *standby {
+		sopts := opts
+		sopts.LogDevice = nil // the standby keeps its own in-memory log
+		sb, err = ship.NewStandby(ship.StandbyConfig{Opts: sopts, TruncateOnCheckpoint: sopts.LogInstalls})
+		if err != nil {
+			fatal(err)
+		}
+		// The link shares the fault plan, so ship@N tokens hit the wire.
+		sender = ship.NewSender(eng.Log(), ship.NewLink(sb, plan), 1, ship.SenderConfig{BatchRecords: *shipBatch, Obs: reg, Tracer: tracer})
+		defer sender.Close()
+		sc.StepHook = func(int) error { return sender.PumpAll() }
+	}
+
 	fmt.Printf("running %d-step workload (seed %d, policy %v, physiological %v)...\n",
 		sc.Steps, sc.Seed, opts.Policy, opts.Physiological)
 	if err := sim.DriveWorkload(eng, sc); err != nil {
@@ -126,6 +147,18 @@ func main() {
 	fmt.Printf("  store: %d object writes\n", st.Store.ObjectWrites)
 	fmt.Printf("  cache: %d installs, %d identity writes, %d installed-without-flush\n",
 		st.Cache.Installs, st.Cache.IdentityWrites, st.Cache.InstalledNotFlushed)
+
+	if sender != nil {
+		if err := eng.Log().Force(); err != nil && !errors.Is(err, fault.ErrInjected) && !wal.IsTransient(err) {
+			fatal(err)
+		}
+		if err := sender.Sync(); err != nil {
+			fmt.Printf("  standby drain stopped: %v\n", err)
+		}
+		lagLSN, lagRec := sender.Lag()
+		fmt.Printf("  standby: applied %d (lag %d LSNs / %d records, %d resyncs)\n",
+			sb.Applied(), lagLSN, lagRec, sender.Resyncs())
+	}
 
 	fmt.Printf("crashing (stable LSN %d, losing unforced tail)...\n", eng.Log().StableLSN())
 	eng.Crash()
@@ -146,6 +179,23 @@ func main() {
 		fatal(fmt.Errorf("verification FAILED: %w", err))
 	}
 	fmt.Println("verification: recovered state matches the durable-history oracle")
+
+	if sb != nil {
+		shipHorizon := sb.Applied()
+		promoted, pres, err := sb.Promote()
+		if err != nil {
+			fatal(fmt.Errorf("standby promotion FAILED: %w", err))
+		}
+		fmt.Printf("promoted standby: scanned %d ops, redone %d\n", pres.ScannedOps, pres.Redone)
+		if err := sim.VerifyHistory(promoted.Registry(), eng.History(), promoted, shipHorizon); err != nil {
+			fatal(fmt.Errorf("standby verification FAILED: %w", err))
+		}
+		fmt.Printf("  standby matches the primary's history through LSN %d\n", shipHorizon)
+		if shipHorizon > horizon {
+			fmt.Printf("  note: the standby preserved %d LSNs the crashed primary's log lost (shipped before the fault trimmed the tail)\n",
+				shipHorizon-horizon)
+		}
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -46,7 +46,12 @@ type Backup struct {
 // what makes the backup fuzzy.
 func Take(eng *core.Engine, interleave func(copied int) error) (*Backup, error) {
 	b := &Backup{
-		StartLSN: eng.Log().StableLSN() + 1,
+		// The replay origin is the engine's recovery horizon, not just the
+		// durable log horizon: an operation logged before the backup began
+		// but still uninstalled is in neither the image nor a replay from
+		// StableLSN+1, so the origin must reach back to the earliest dirty
+		// rSI.  Each copied object's vSI keeps the longer replay exact.
+		StartLSN: eng.RecoveryHorizon(),
 		Objects:  make(map[op.ObjectID]stable.Versioned),
 	}
 	for i, id := range eng.Store().IDs() {
@@ -71,6 +76,13 @@ func Take(eng *core.Engine, interleave func(copied int) error) (*Backup, error) 
 // backup could need; the log must not be truncated past it while the backup
 // is the restore point.
 func (b *Backup) MinRetainLSN() op.SI { return b.StartLSN }
+
+// RegisterRetention pins the log's truncation floor at the backup's horizon
+// (see wal.Log.RegisterRetention) so a checkpoint can never strand the
+// backup.  Call the returned release once the backup is superseded.
+func (b *Backup) RegisterRetention(l *wal.Log) (release func()) {
+	return l.RegisterRetention("backup", b.MinRetainLSN)
+}
 
 // MediaRecover rebuilds a database from the backup plus the surviving log:
 // it restores the backup image into the engine's stable store and runs the

@@ -1,9 +1,10 @@
-package backup
+package backup_test
 
 import (
 	"fmt"
 	"testing"
 
+	"logicallog/internal/backup"
 	"logicallog/internal/cache"
 	"logicallog/internal/core"
 	"logicallog/internal/op"
@@ -37,7 +38,7 @@ func TestBackupRestoreQuiescent(t *testing.T) {
 	if err := eng.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	b, err := Take(eng, nil)
+	b, err := backup.Take(eng, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestBackupRestoreQuiescent(t *testing.T) {
 	// Media failure: nuke the stable store, recover from backup + log.
 	eng.Store().Restore(nil)
 	eng.Crash()
-	res, err := MediaRecover(eng, b, recOpts(eng))
+	res, err := backup.MediaRecover(eng, b, recOpts(eng))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFuzzyBackupMediaRecovery(t *testing.T) {
 	// across objects) and install aggressively so the stable store churns
 	// under the copier's feet.
 	step := 0
-	b, err := Take(eng, func(copied int) error {
+	b, err := backup.Take(eng, func(copied int) error {
 		for j := 0; j < 3; j++ {
 			x := ids[step%len(ids)]
 			y := ids[(step+1)%len(ids)]
@@ -131,7 +132,7 @@ func TestFuzzyBackupMediaRecovery(t *testing.T) {
 	// Media failure + media recovery from the fuzzy backup.
 	eng.Store().Restore(nil)
 	eng.Crash()
-	res, err := MediaRecover(eng, b, recOpts(eng))
+	res, err := backup.MediaRecover(eng, b, recOpts(eng))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestMediaRecoverRejectsTruncatedLog(t *testing.T) {
 	if err := eng.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	b, err := Take(eng, nil)
+	b, err := backup.Take(eng, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestMediaRecoverRejectsTruncatedLog(t *testing.T) {
 	if eng.Log().FirstLSN() <= b.MinRetainLSN() {
 		t.Skip("truncation did not pass the backup horizon")
 	}
-	if _, err := MediaRecover(eng, b, recOpts(eng)); err == nil {
+	if _, err := backup.MediaRecover(eng, b, recOpts(eng)); err == nil {
 		t.Error("media recovery with a truncated log must fail loudly")
 	}
 }
@@ -197,7 +198,7 @@ func TestBackupSkipsVanishedObjects(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Delete "goes" (and install the delete) in the middle of the copy.
-	b, err := Take(eng, func(copied int) error {
+	b, err := backup.Take(eng, func(copied int) error {
 		if copied == 1 {
 			if err := eng.Execute(op.NewDelete("goes")); err != nil {
 				return err
@@ -214,7 +215,7 @@ func TestBackupSkipsVanishedObjects(t *testing.T) {
 	}
 	eng.Store().Restore(nil)
 	eng.Crash()
-	res, err := MediaRecover(eng, b, recOpts(eng))
+	res, err := backup.MediaRecover(eng, b, recOpts(eng))
 	if err != nil {
 		t.Fatal(err)
 	}

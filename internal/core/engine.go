@@ -123,6 +123,40 @@ func New(opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// Adopt builds an engine over an existing log and stable store by running
+// full crash recovery on them — the failover path of a warm standby (see
+// internal/ship): the standby's mirrored log and store are exactly a crashed
+// primary's, so promotion is ordinary recovery followed by normal operation.
+// The options' Registry must resolve every operation kind in the log.  The
+// recovery result is returned alongside the engine; the engine's history
+// starts empty (it never saw the operations execute).
+func Adopt(opts Options, log *wal.Log, store *stable.Store) (*Engine, *recovery.Result, error) {
+	if opts.Registry == nil {
+		opts.Registry = op.NewRegistry()
+	}
+	switch {
+	case opts.TransientRetries == 0:
+		opts.TransientRetries = defaultTransientRetries
+	case opts.TransientRetries < 0:
+		opts.TransientRetries = 0
+	}
+	log.SetRetryPolicy(opts.TransientRetries, 20*time.Microsecond, 500*time.Microsecond)
+	log.SetObs(opts.Obs)
+	e := &Engine{opts: opts, reg: opts.Registry, log: log, store: store}
+	res, err := recovery.Recover(log, store, recovery.Options{
+		Test:        opts.RedoTest,
+		Cache:       e.cacheConfig(),
+		RedoWorkers: opts.RedoWorkers,
+		Tracer:      opts.Tracer,
+		Obs:         opts.Obs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	e.mgr = res.Manager
+	return e, res, nil
+}
+
 func (e *Engine) cacheConfig() cache.Config {
 	return cache.Config{
 		Policy:           e.opts.Policy,
@@ -277,6 +311,17 @@ func (e *Engine) Recover() (*recovery.Result, error) {
 	return res, nil
 }
 
+// RecoveryHorizon returns the earliest log LSN a recovery of the engine's
+// current stable state could need: the minimum rSI over dirty objects,
+// bounded by the first unforced LSN.  A backup image or freshly bootstrapped
+// standby that starts replay here misses nothing (internal/backup,
+// internal/ship use this as their replay origin).
+func (e *Engine) RecoveryHorizon() op.SI {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mgr.TruncationPoint(e.log.StableLSN() + 1)
+}
+
 // Stats bundles the engine's counters for reporting.
 type Stats struct {
 	Log   wal.Stats
@@ -316,6 +361,7 @@ func mergeStats(s *obs.Snapshot, st Stats) {
 	c["wal.forces"] = st.Log.Forces
 	c["wal.forces_coalesced"] = st.Log.ForcesCoalesced
 	c["wal.transient_retries"] = st.Log.TransientRetries
+	c["wal.truncations_clamped"] = st.Log.TruncationsClamped
 	for t, n := range st.Log.Records {
 		c["wal.records."+t.String()] = n
 	}

@@ -33,6 +33,8 @@ const (
 	ChanWAL Channel = iota
 	// ChanStable counts stable-store batch write probes.
 	ChanStable
+	// ChanShip counts log-shipping batch sends (see internal/ship).
+	ChanShip
 
 	numChannels
 )
@@ -43,6 +45,8 @@ func (c Channel) String() string {
 		return "wal"
 	case ChanStable:
 		return "stable"
+	case ChanShip:
+		return "ship"
 	}
 	return fmt.Sprintf("chan%d", uint8(c))
 }
@@ -53,6 +57,8 @@ func parseChannel(s string) (Channel, error) {
 		return ChanWAL, nil
 	case "stable":
 		return ChanStable, nil
+	case "ship":
+		return ChanShip, nil
 	}
 	return 0, fmt.Errorf("fault: unknown channel %q", s)
 }
@@ -83,6 +89,13 @@ const (
 	// nothing; the device is fine afterwards.  Arg > 1 re-arms the fault
 	// on the next Arg-1 I/Os too, so Arg consecutive attempts fail.
 	KindTransient
+	// KindDrop silently loses a ship batch: the send appears to succeed
+	// on the wire but the receiver never sees it and no ack comes back.
+	// Ship-channel only.
+	KindDrop
+	// KindDup delivers a ship batch twice, modeling a retransmit racing
+	// its original.  Ship-channel only.
+	KindDup
 )
 
 // ErrInjected is wrapped by every terminal injected failure, so callers can
@@ -130,6 +143,10 @@ func (pt Point) String() string {
 		} else {
 			kind = "eio=" + strconv.Itoa(pt.Arg)
 		}
+	case KindDrop:
+		kind = "drop"
+	case KindDup:
+		kind = "dup"
 	default:
 		kind = fmt.Sprintf("kind%d", uint8(pt.Kind))
 	}
@@ -228,10 +245,23 @@ func (p *Plan) advance(ch Channel) (Point, bool) {
 				Chan: ch, Index: idx + 1, Kind: KindTransient, Arg: pt.Arg - 1,
 			}
 		}
-	} else if pt.Kind != KindNone {
+	} else if pt.Kind != KindNone && ch != ChanShip {
+		// Ship faults are network events, not machine stops: a dropped,
+		// duplicated, or reordered batch leaves both nodes running, and
+		// even a ship "crash" only severs the link (see ship.Link).
 		p.dead = true
 	}
 	return pt, false
+}
+
+// ShipPoint counts one batch send on the ship channel and returns the point
+// armed there (KindNone when the send is clean).  Unlike WAL and stable
+// faults, ship faults never kill the plan — the network misbehaving does not
+// stop either machine.  The boolean reports a plan already dead from a
+// terminal WAL or stable fault: the machine hosting the sender stopped, so
+// the send must fail without being counted.
+func (p *Plan) ShipPoint() (Point, bool) {
+	return p.advance(ChanShip)
 }
 
 // Heal revives a dead plan so the recovery phase of a trial can run, and
@@ -363,6 +393,10 @@ func parsePoint(s string) (Point, error) {
 		pt.Kind, needArg = KindReorder, true
 	case "eio":
 		pt.Kind, pt.Arg = KindTransient, 1
+	case "drop":
+		pt.Kind = KindDrop
+	case "dup":
+		pt.Kind = KindDup
 	default:
 		return Point{}, fmt.Errorf("fault: unknown kind %q in %q", kindStr, s)
 	}

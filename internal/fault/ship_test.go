@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"testing"
+
+	"logicallog/internal/wal"
+)
+
+func TestShipTokenRoundTrip(t *testing.T) {
+	cases := [][]Point{
+		{{Chan: ChanShip, Index: 0, Kind: KindDrop}},
+		{{Chan: ChanShip, Index: 3, Kind: KindDup}},
+		{{Chan: ChanShip, Index: 2, Kind: KindReorder, Arg: 0}},
+		{{Chan: ChanShip, Index: 1, Kind: KindTransient, Arg: 1}},
+		{{Chan: ChanShip, Index: 5, Kind: KindCrash}},
+		{
+			{Chan: ChanShip, Index: 0, Kind: KindDrop},
+			{Chan: ChanWAL, Index: 4, Kind: KindTorn, Arg: 2},
+			{Chan: ChanShip, Index: 7, Kind: KindDup},
+		},
+	}
+	for _, pts := range cases {
+		tok := NewPlan(pts...).Token()
+		back, err := ParseToken(tok)
+		if err != nil {
+			t.Fatalf("ParseToken(%q): %v", tok, err)
+		}
+		if tok2 := NewPlan(back...).Token(); tok != tok2 {
+			t.Errorf("round trip: %q -> %q", tok, tok2)
+		}
+	}
+	for _, tok := range []string{"ship@0:drop", "ship@1:dup", "ship@2:crash", "ship@3:reorder=0", "ship@4:eio"} {
+		if _, err := ParseToken(tok); err != nil {
+			t.Errorf("ParseToken(%q): %v", tok, err)
+		}
+	}
+	if _, err := ParseToken("ship@0:melt"); err == nil {
+		t.Error("unknown ship kind accepted")
+	}
+}
+
+// TestShipFaultsAreNotTerminal: ship faults are network events, not machine
+// crashes — they must fire without killing the plan, so the WAL and stable
+// channels keep operating normally afterward.
+func TestShipFaultsAreNotTerminal(t *testing.T) {
+	for _, kind := range []Kind{KindDrop, KindDup, KindReorder, KindTransient, KindCrash} {
+		p := NewPlan(Point{Chan: ChanShip, Index: 0, Kind: kind, Arg: 1})
+		pt, dead := p.ShipPoint()
+		if dead {
+			t.Fatalf("kind %v: plan dead before any terminal fault", kind)
+		}
+		if pt.Kind != kind {
+			t.Fatalf("kind %v: ShipPoint returned %v", kind, pt.Kind)
+		}
+		if p.Dead() {
+			t.Errorf("kind %v: ship fault killed the plan", kind)
+		}
+		if got := len(p.Fired()); got != 1 {
+			t.Errorf("kind %v: %d fired points, want 1", kind, got)
+		}
+	}
+}
+
+// TestShipPointReportsDeadPlan: once a terminal WAL fault stops the machine,
+// sends from it must be refused — ShipPoint reports the plan dead.
+func TestShipPointReportsDeadPlan(t *testing.T) {
+	p := NewPlan(Point{Chan: ChanWAL, Index: 0, Kind: KindCrash})
+	d := p.WrapDevice(wal.NewMemDevice())
+	if err := d.Append([]byte("frame")); err == nil {
+		t.Fatal("crash point should fail the append")
+	}
+	if !p.Dead() {
+		t.Fatal("plan should be dead after a terminal WAL fault")
+	}
+	if _, dead := p.ShipPoint(); !dead {
+		t.Error("ShipPoint should report the dead plan")
+	}
+	p.Heal()
+	if _, dead := p.ShipPoint(); dead {
+		t.Error("ShipPoint should be clean after Heal")
+	}
+}
+
+// TestShipChannelCounts: indices on the ship channel are independent of the
+// other channels' I/O counters.
+func TestShipChannelCounts(t *testing.T) {
+	p := NewPlan(Point{Chan: ChanShip, Index: 1, Kind: KindDrop})
+	if pt, _ := p.ShipPoint(); pt.Kind != KindNone {
+		t.Fatal("send 0 should be clean")
+	}
+	if pt, _ := p.ShipPoint(); pt.Kind != KindDrop {
+		t.Fatal("send 1 should drop")
+	}
+	if got := p.Count(ChanShip); got != 2 {
+		t.Errorf("ship channel count = %d, want 2", got)
+	}
+	if got := p.Count(ChanWAL); got != 0 {
+		t.Errorf("wal channel count = %d, want 0", got)
+	}
+	if ChanShip.String() != "ship" {
+		t.Errorf("ChanShip.String() = %q", ChanShip.String())
+	}
+}

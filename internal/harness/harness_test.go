@@ -245,6 +245,45 @@ func TestE10Shape(t *testing.T) {
 	}
 }
 
+func TestE11Shape(t *testing.T) {
+	tbl := runExp(t, "E11")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 batch sizes, got %d rows", len(tbl.Rows))
+	}
+	applied0 := cellInt(t, tbl, 0, 2)
+	redo0 := cellInt(t, tbl, 0, 4)
+	if applied0 == 0 {
+		t.Fatal("no records shipped; experiment is vacuous")
+	}
+	if redo0 <= 0 || redo0 >= applied0 {
+		t.Errorf("failover redo %d should be a proper uninstalled tail of %d applied", redo0, applied0)
+	}
+	prevLag := int64(1 << 62)
+	for i := range tbl.Rows {
+		// The same durable log ships at every batch size, so the applied
+		// count and the promotion redo are batch-size independent.
+		if got := cellInt(t, tbl, i, 2); got != applied0 {
+			t.Errorf("row %d: applied %d, want %d at every batch size", i, got, applied0)
+		}
+		if got := cellInt(t, tbl, i, 4); got != redo0 {
+			t.Errorf("row %d: failover redo %d, want %d at every batch size", i, got, redo0)
+		}
+		if lag := cellInt(t, tbl, i, 3); lag > prevLag {
+			t.Errorf("row %d: peak lag grew with batch size (%d > %d)", i, lag, prevLag)
+		} else {
+			prevLag = lag
+		}
+	}
+	// One-record batches cannot keep up with the workload: their peak lag
+	// must strictly exceed the big-batch steady state.
+	if lag1, lagBig := cellInt(t, tbl, 0, 3), cellInt(t, tbl, 3, 3); lag1 <= lagBig {
+		t.Errorf("peak lag at batch 1 (%d) should exceed batch 64 (%d)", lag1, lagBig)
+	}
+	if batches1, batchesBig := cellInt(t, tbl, 0, 1), cellInt(t, tbl, 3, 1); batches1 <= batchesBig {
+		t.Errorf("batch count at size 1 (%d) should exceed size 64 (%d)", batches1, batchesBig)
+	}
+}
+
 func TestA1Shape(t *testing.T) {
 	tbl := runExp(t, "A1")
 	if len(tbl.Rows) != 2 {

@@ -140,6 +140,41 @@ func ValidateReport(r *Report) error {
 					e.ID, j, len(row), len(e.Table.Columns))
 			}
 		}
+		if e.ID == "E11" {
+			if err := validateShipMetrics(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateShipMetrics checks the replication metrics consumers read from an
+// E11 snapshot.  A report produced without a metrics registry has an empty
+// snapshot, which stays valid; once any counter is present the ship family
+// must be complete.
+func validateShipMetrics(e ExperimentResult) error {
+	if len(e.Metrics.Counters) == 0 {
+		return nil
+	}
+	for _, c := range []string{"ship.batches_sent", "ship.records_shipped", "ship.applied_ops", "ship.promotions"} {
+		if _, ok := e.Metrics.Counters[c]; !ok {
+			return fmt.Errorf("harness: %s: metrics missing counter %q", e.ID, c)
+		}
+	}
+	for _, g := range []string{"ship.lag_lsn", "ship.lag_records"} {
+		if _, ok := e.Metrics.Gauges[g]; !ok {
+			return fmt.Errorf("harness: %s: metrics missing gauge %q", e.ID, g)
+		}
+	}
+	for _, h := range []string{"ship.apply.ns", "ship.promotion.ns", "ship.batch.records"} {
+		hs, ok := e.Metrics.Histograms[h]
+		if !ok {
+			return fmt.Errorf("harness: %s: metrics missing histogram %q", e.ID, h)
+		}
+		if hs.Count == 0 {
+			return fmt.Errorf("harness: %s: histogram %q is empty", e.ID, h)
+		}
 	}
 	return nil
 }

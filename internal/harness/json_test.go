@@ -116,6 +116,65 @@ func TestValidateReportRejections(t *testing.T) {
 	}
 }
 
+// TestValidateReportE11Metrics pins the replication-metric contract: an E11
+// snapshot with any counters must carry the full ship family.
+func TestValidateReportE11Metrics(t *testing.T) {
+	shipMetrics := func() obs.Snapshot {
+		return obs.Snapshot{
+			Counters: map[string]int64{
+				"ship.batches_sent":    10,
+				"ship.records_shipped": 30,
+				"ship.applied_ops":     30,
+				"ship.promotions":      1,
+			},
+			Gauges: map[string]int64{"ship.lag_lsn": 0, "ship.lag_records": 0},
+			Histograms: map[string]obs.HistogramSnapshot{
+				"ship.apply.ns":      {Count: 10},
+				"ship.promotion.ns":  {Count: 1},
+				"ship.batch.records": {Count: 10},
+			},
+		}
+	}
+	good := func() *Report {
+		tbl := &Table{ID: "E11", Title: "ship", Columns: []string{"a"}}
+		tbl.AddRow(1)
+		return &Report{
+			Schema:    ReportSchema,
+			GoVersion: "go0.0",
+			Experiments: []ExperimentResult{{
+				ID: "E11", Name: "ship", Table: tableResult(tbl), Metrics: shipMetrics(),
+			}},
+		}
+	}
+	if err := ValidateReport(good()); err != nil {
+		t.Fatalf("complete ship metrics rejected: %v", err)
+	}
+	// An empty snapshot (no registry installed) stays valid.
+	r := good()
+	r.Experiments[0].Metrics = obs.Snapshot{}
+	if err := ValidateReport(r); err != nil {
+		t.Errorf("empty snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*obs.Snapshot)
+		want   string
+	}{
+		{"missing counter", func(s *obs.Snapshot) { delete(s.Counters, "ship.batches_sent") }, "ship.batches_sent"},
+		{"missing gauge", func(s *obs.Snapshot) { delete(s.Gauges, "ship.lag_records") }, "ship.lag_records"},
+		{"missing histogram", func(s *obs.Snapshot) { delete(s.Histograms, "ship.apply.ns") }, "ship.apply.ns"},
+		{"empty histogram", func(s *obs.Snapshot) { s.Histograms["ship.promotion.ns"] = obs.HistogramSnapshot{} }, "ship.promotion.ns"},
+	}
+	for _, c := range cases {
+		r := good()
+		c.mutate(&r.Experiments[0].Metrics)
+		err := ValidateReport(r)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
 // TestRunReportRealExperiment smoke-tests the collector against one real
 // (cheap) experiment end to end.
 func TestRunReportRealExperiment(t *testing.T) {

@@ -108,6 +108,7 @@ func All() []Experiment {
 		{ID: "E8", Name: "file-system copy/sort logging cost (Section 1)", Run: E8FileOps},
 		{ID: "E9", Name: "B-tree split logging cost (Section 1)", Run: E9BtreeSplit},
 		{ID: "E10", Name: "checkpoints, install logging, and redo scan length (Section 5)", Run: E10ScanLength},
+		{ID: "E11", Name: "log shipping: replication lag and failover vs batch size", Run: E11ShipLag},
 		{ID: "A1", Name: "ablation: install-record logging on/off", Run: A1InstallLogging},
 		{ID: "A2", Name: "ablation: write-graph policy W vs rW under the cache manager", Run: A2PolicyAblation},
 	}

@@ -270,42 +270,54 @@ func analyze(log *wal.Log, res *Result, test RedoTest) (dirtyTable, error) {
 			return nil, err
 		}
 		res.AnalyzedRecords++
-		switch rec.Type {
-		case wal.RecOperation:
-			for _, x := range rec.Op.WriteSet {
-				if _, dirty := dot[x]; !dirty {
-					// First uninstalled update after the object was last
-					// clean: its rSI.
-					dot[x] = rec.LSN
-				}
+		UpdateDirtyTable(dot, rec, test)
+	}
+}
+
+// UpdateDirtyTable applies one log record's Section 5 analysis rule to the
+// dirty object table, in place.  It is the incremental unit of the analysis
+// pass, exported so a warm standby can maintain its table continuously as
+// shipped records arrive instead of re-running analysis at promotion.
+func UpdateDirtyTable(dot map[op.ObjectID]op.SI, rec *wal.Record, test RedoTest) {
+	switch rec.Type {
+	case wal.RecOperation:
+		for _, x := range rec.Op.WriteSet {
+			if _, dirty := dot[x]; !dirty {
+				// First uninstalled update after the object was last
+				// clean: its rSI.
+				dot[x] = rec.LSN
 			}
-		case wal.RecFlush:
-			delete(dot, rec.Flush.Object)
-		case wal.RecInstall:
-			for _, f := range rec.Install.Flushed {
-				if f.RSI == op.NilSI {
-					delete(dot, f.ID)
+		}
+	case wal.RecFlush:
+		delete(dot, rec.Flush.Object)
+	case wal.RecInstall:
+		for _, f := range rec.Install.Flushed {
+			if f.RSI == op.NilSI {
+				delete(dot, f.ID)
+			} else {
+				dot[f.ID] = f.RSI
+			}
+		}
+		if test == TestRSI {
+			for _, u := range rec.Install.Unflushed {
+				if u.RSI == op.NilSI {
+					delete(dot, u.ID)
 				} else {
-					dot[f.ID] = f.RSI
+					// The unexposed object's rSI advances to the lSI
+					// of the blind write that follows it.
+					dot[u.ID] = u.RSI
 				}
 			}
-			if test == TestRSI {
-				for _, u := range rec.Install.Unflushed {
-					if u.RSI == op.NilSI {
-						delete(dot, u.ID)
-					} else {
-						// The unexposed object's rSI advances to the lSI
-						// of the blind write that follows it.
-						dot[u.ID] = u.RSI
-					}
-				}
-			}
-		case wal.RecCheckpoint:
-			// A later checkpoint inside the scan range restates the table.
-			dot = make(dirtyTable)
-			for _, d := range rec.Checkpoint.Dirty {
-				dot[d.ID] = d.RSI
-			}
+		}
+	case wal.RecCheckpoint:
+		// A later checkpoint restates the table.  Cleared in place so
+		// callers holding the map see the restatement.
+		//lint:ignore replaydeterminism order-free map clear
+		for x := range dot {
+			delete(dot, x)
+		}
+		for _, d := range rec.Checkpoint.Dirty {
+			dot[d.ID] = d.RSI
 		}
 	}
 }
@@ -317,10 +329,16 @@ func trace(opts Options, o *op.Operation, decision string) {
 }
 
 // redoDecision evaluates the REDO test for o against the recovering state.
-// It returns whether to redo, and (when not redoing) whether the skip was
-// justified by an installed witness (vSI) as opposed to unexposed/clean
-// reasoning (rSI).
 func redoDecision(test RedoTest, mgr *cache.Manager, dot dirtyTable, o *op.Operation) (redo, installedWitness bool) {
+	return DecideRedo(test, mgr, dot, o)
+}
+
+// DecideRedo evaluates the REDO test for o against the given state — the
+// recovering engine's during crash recovery, or a warm standby's as shipped
+// records arrive (replication is recovery that never stops).  It returns
+// whether to redo, and (when not redoing) whether the skip was justified by
+// an installed witness (vSI) as opposed to unexposed/clean reasoning (rSI).
+func DecideRedo(test RedoTest, mgr *cache.Manager, dot map[op.ObjectID]op.SI, o *op.Operation) (redo, installedWitness bool) {
 	if test == TestRedoAll {
 		return true, false
 	}

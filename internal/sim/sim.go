@@ -96,6 +96,11 @@ type Scenario struct {
 	DeletePercent int
 	// ValueSize is the object value size in bytes.
 	ValueSize int
+	// StepHook, when set, runs at the start of every step (before the
+	// step's install/checkpoint/force/op) — cmd/llship pumps its log
+	// shipper here.  StepHook does not consume scenario randomness, so a
+	// seed replays the same workload with or without it.
+	StepHook func(step int) error
 }
 
 // DefaultScenario returns a scenario exercising all machinery.
@@ -164,7 +169,16 @@ func CrashTest(opts core.Options, sc Scenario) error {
 // LSN <= horizon) on an oracle and compares every live object's value with
 // the engine's current (volatile) view.
 func VerifyAgainstOracle(eng *core.Engine, horizon op.SI) error {
-	hist := eng.History()
+	return VerifyHistory(eng.Registry(), eng.History(), eng, horizon)
+}
+
+// VerifyHistory replays hist (ops with LSN <= horizon) on an oracle and
+// compares every live object's value with eng's current view.  Splitting the
+// history source from the engine under test lets a promoted standby be
+// checked against the *primary's* execution history — the replication
+// correctness claim is exactly that the standby recovers the same state a
+// single node would from the same log prefix.
+func VerifyHistory(reg *op.Registry, hist []*op.Operation, eng *core.Engine, horizon op.SI) error {
 	// A crash loses unforced tail records, and the restarted log reassigns
 	// their LSNs (wal.Log.Restart rewinds to the durable horizon so the
 	// durable log stays gap-free).  An LSN is only reused when its earlier
@@ -176,7 +190,7 @@ func VerifyAgainstOracle(eng *core.Engine, horizon op.SI) error {
 			lastIdx[o.LSN] = i
 		}
 	}
-	oracle := NewOracle(eng.Registry())
+	oracle := NewOracle(reg)
 	for i, o := range hist {
 		if o.LSN == op.NilSI || o.LSN > horizon || lastIdx[o.LSN] != i {
 			continue
@@ -222,6 +236,11 @@ func driveWorkload(eng *core.Engine, rng *rand.Rand, sc Scenario) error {
 	}
 
 	for step := 0; step < sc.Steps; step++ {
+		if sc.StepHook != nil {
+			if err := sc.StepHook(step); err != nil {
+				return err
+			}
+		}
 		if sc.InstallEvery > 0 && rng.Intn(sc.InstallEvery) == 0 {
 			if err := eng.InstallOne(); err != nil {
 				return fmt.Errorf("sim: install: %w", err)

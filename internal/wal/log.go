@@ -43,6 +43,18 @@ type Log struct {
 
 	stats Stats
 	obs   logObs
+
+	// Retention hooks, under their own mutex so hook queries never nest
+	// inside l.mu (see RegisterRetention).
+	retainMu  sync.Mutex
+	retainSeq int
+	retain    map[int]retentionHook
+}
+
+// retentionHook is one registered truncation horizon (see RegisterRetention).
+type retentionHook struct {
+	name string
+	fn   func() op.SI
 }
 
 // logObs holds the log's optional hot-path metrics (see SetObs).  All
@@ -106,6 +118,10 @@ type Stats struct {
 	// TransientRetries counts device appends retried after a transient
 	// (retryable) error.
 	TransientRetries int64
+	// TruncationsClamped counts Truncate calls whose cut point was raised
+	// less far than requested because a registered retention horizon
+	// (backup image, lagging standby) still needed earlier records.
+	TruncationsClamped int64
 }
 
 // transient matches errors that mark themselves retryable, such as the
@@ -248,7 +264,49 @@ func (l *Log) Append(rec *Record) (op.SI, error) {
 	l.nextLSN++
 	frame := Frame(payload)
 	l.tail = append(l.tail, pending{lsn: rec.LSN, frame: frame})
+	l.noteAppendLocked(rec, payload, frame)
+	if l.obs.appendNs.Enabled() {
+		l.obs.appendNs.Since(appendStart)
+	}
+	return rec.LSN, nil
+}
 
+// AppendOp is shorthand for Append(NewOpRecord(o)).
+func (l *Log) AppendOp(o *op.Operation) (op.SI, error) { return l.Append(NewOpRecord(o)) }
+
+// AppendShipped appends a record that already owns its LSN — a record
+// received from a primary's log stream.  The standby's log must be a
+// gap-free prefix copy of the primary's, so the record has to land exactly
+// at the next LSN; the one exception is a completely fresh log (bootstrap
+// from a backup image), which adopts the stream's first LSN as its origin.
+// Like Append, AppendShipped does not force.
+func (l *Log) AppendShipped(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rec.LSN == 0 {
+		return fmt.Errorf("wal: shipped record has no LSN")
+	}
+	if l.nextLSN == 1 && l.stableLSN == 0 && len(l.tail) == 0 {
+		// Fresh log: adopt the stream origin (backup StartLSN).
+		l.firstLSN = rec.LSN
+		l.nextLSN = rec.LSN
+	}
+	if rec.LSN != l.nextLSN {
+		return fmt.Errorf("wal: shipped record LSN %d, want %d", rec.LSN, l.nextLSN)
+	}
+	payload, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	l.nextLSN++
+	frame := Frame(payload)
+	l.tail = append(l.tail, pending{lsn: rec.LSN, frame: frame})
+	l.noteAppendLocked(rec, payload, frame)
+	return nil
+}
+
+// noteAppendLocked updates the append statistics for one encoded record.
+func (l *Log) noteAppendLocked(rec *Record, payload, frame []byte) {
 	l.stats.Records[rec.Type]++
 	l.stats.PayloadBytes[rec.Type] += int64(len(payload))
 	l.stats.BytesAppended += int64(len(frame))
@@ -258,14 +316,7 @@ func (l *Log) Append(rec *Record) (op.SI, error) {
 			l.stats.ValueBytes += int64(len(v))
 		}
 	}
-	if l.obs.appendNs.Enabled() {
-		l.obs.appendNs.Since(appendStart)
-	}
-	return rec.LSN, nil
 }
-
-// AppendOp is shorthand for Append(NewOpRecord(o)).
-func (l *Log) AppendOp(o *op.Operation) (op.SI, error) { return l.Append(NewOpRecord(o)) }
 
 // Force makes every appended record durable.
 func (l *Log) Force() error {
@@ -534,12 +585,64 @@ func (l *Log) Restart() error {
 	return nil
 }
 
+// RegisterRetention registers a truncation horizon: Truncate will never
+// discard records with LSN >= the hook's returned value, no matter what cut
+// point the caller asks for.  A hook returning NilSI (0) abstains for that
+// truncation.  Hooks are consulted outside the log mutex and must not call
+// back into the Log.  The returned release function unregisters the hook;
+// name appears in no output today but keeps hooks identifiable under a
+// debugger.
+func (l *Log) RegisterRetention(name string, fn func() op.SI) (release func()) {
+	l.retainMu.Lock()
+	defer l.retainMu.Unlock()
+	if l.retain == nil {
+		l.retain = make(map[int]retentionHook)
+	}
+	id := l.retainSeq
+	l.retainSeq++
+	l.retain[id] = retentionHook{name: name, fn: fn}
+	return func() {
+		l.retainMu.Lock()
+		defer l.retainMu.Unlock()
+		delete(l.retain, id)
+	}
+}
+
+// retentionFloor queries every registered hook and returns the lowest
+// non-zero horizon, or 0 when no hook constrains truncation.
+func (l *Log) retentionFloor() op.SI {
+	l.retainMu.Lock()
+	hooks := make([]retentionHook, 0, len(l.retain))
+	//lint:ignore replaydeterminism commutative min-fold over hooks
+	for _, h := range l.retain {
+		hooks = append(hooks, h)
+	}
+	l.retainMu.Unlock()
+	floor := op.SI(0)
+	for _, h := range hooks {
+		if lsn := h.fn(); lsn != 0 && (floor == 0 || lsn < floor) {
+			floor = lsn
+		}
+	}
+	return floor
+}
+
 // Truncate discards all durable records with LSN < before.  Only installed
-// operations may be truncated away; the caller (checkpointing) guarantees
-// that.  Truncation rewrites the device.
+// operations may be truncated away; the checkpointing caller guarantees
+// that for the local engine, and registered retention hooks (backup images,
+// lagging standbys) clamp the cut point further so no dependent replica is
+// stranded.  Truncation rewrites the device.
 func (l *Log) Truncate(before op.SI) error {
+	clamped := false
+	if floor := l.retentionFloor(); floor != 0 && floor < before {
+		before = floor
+		clamped = true
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if clamped {
+		l.stats.TruncationsClamped++
+	}
 	// Truncation rewrites the device from a full read; an in-flight force
 	// appending concurrently would be lost by the rewrite.  Wait it out.
 	for l.forcing {
