@@ -25,6 +25,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	redoWorkers := flag.Int("redo-workers", 0, "parallel redo worker count for recovery-heavy experiments (0 = GOMAXPROCS, 1 = serial)")
+	logStreams := flag.Int("log-streams", 0, "per-core log append streams for every harness engine (0 = experiment default)")
+	absorb := flag.Bool("absorb", false, "absorb superseded hot writes in the volatile log window on every harness engine")
 	jsonOut := flag.String("json", "", `write the machine-readable llbench/v1 report to this path ("-" = stdout)`)
 	validateJSON := flag.String("validate-json", "", "validate a previously written report file and exit")
 	metrics := flag.Bool("metrics", false, "print each experiment's metrics snapshot after its table")
@@ -34,6 +36,8 @@ func main() {
 	runtimeTrace := flag.String("runtime-trace", "", "write a Go runtime execution trace to this path")
 	flag.Parse()
 	harness.DefaultRedoWorkers = *redoWorkers
+	harness.DefaultLogStreams = *logStreams
+	harness.DefaultAbsorbWrites = *absorb
 
 	if *validateJSON != "" {
 		f, err := os.Open(*validateJSON)

@@ -108,6 +108,8 @@ func printRecord(rec *wal.Record) {
 			rec.LSN, rsis(rec.Install.Flushed), rsis(rec.Install.Unflushed), rec.Install.Ops)
 	case wal.RecFlush:
 		fmt.Printf("%8d  flush  %s vSI=%d\n", rec.LSN, rec.Flush.Object, rec.Flush.VSI)
+	case wal.RecAbsorbed:
+		fmt.Printf("%8d  absorb %s elided=%dB\n", rec.LSN, rec.Absorbed.Object, rec.Absorbed.Elided)
 	case wal.RecCheckpoint:
 		var parts []string
 		for _, d := range rec.Checkpoint.Dirty {

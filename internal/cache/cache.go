@@ -623,8 +623,9 @@ func (m *Manager) InstallNode(id graph.NodeID) ([]op.ObjectID, error) {
 		// or a committed pending repair that the retry's phase 1 simply
 		// re-logs; unsafe torn prefixes are overwritten by the identical
 		// values.
+		bo := wal.NewBackoff(transientRetryBase, transientRetryCap)
 		for attempt := 1; err != nil && attempt <= m.cfg.TransientRetries && wal.IsTransient(err); attempt++ {
-			backoff := wal.TransientBackoff(attempt, transientRetryBase, transientRetryCap)
+			backoff := bo.Next()
 			m.obs.retries.Inc()
 			m.obs.retryBackoffNs.ObserveDuration(backoff)
 			time.Sleep(backoff)

@@ -51,6 +51,16 @@ type Options struct {
 	// that fail with a transient (retryable) I/O error, with capped
 	// exponential backoff.  0 defaults to 3; negative disables retry.
 	TransientRetries int
+	// LogStreams sets the WAL's per-lane append stream count (the commit
+	// fast lane): appenders contend per stream and the group-commit leader
+	// merges streams into LSN order at force time.  0 or 1 selects the
+	// single-stream path; the durable byte stream is identical at every
+	// stream count.
+	LogStreams int
+	// AbsorbWrites enables WAL log absorption: a blind full-object write
+	// superseded by a later blind write to the same object before either is
+	// forced is replaced by a tombstone in the durable log.  Off by default.
+	AbsorbWrites bool
 	// Obs, when non-nil, receives hot-path metrics from every layer (WAL
 	// append/force latency, group-commit batch sizes, flush-set sizes,
 	// write-graph gauges, redo-chain distributions).  Engine.Metrics()
@@ -115,6 +125,7 @@ func New(opts Options) (*Engine, error) {
 	}
 	log.SetRetryPolicy(opts.TransientRetries, 20*time.Microsecond, 500*time.Microsecond)
 	log.SetObs(opts.Obs)
+	log.SetStreams(opts.LogStreams, opts.AbsorbWrites)
 	e := &Engine{opts: opts, reg: opts.Registry, log: log, store: stable.NewStore()}
 	e.mgr, err = cache.NewManager(e.cacheConfig(), log, e.store)
 	if err != nil {
@@ -142,6 +153,7 @@ func Adopt(opts Options, log *wal.Log, store *stable.Store) (*Engine, *recovery.
 	}
 	log.SetRetryPolicy(opts.TransientRetries, 20*time.Microsecond, 500*time.Microsecond)
 	log.SetObs(opts.Obs)
+	log.SetStreams(opts.LogStreams, opts.AbsorbWrites)
 	e := &Engine{opts: opts, reg: opts.Registry, log: log, store: store}
 	res, err := recovery.Recover(log, store, recovery.Options{
 		Test:        opts.RedoTest,
@@ -362,6 +374,9 @@ func mergeStats(s *obs.Snapshot, st Stats) {
 	c["wal.forces_coalesced"] = st.Log.ForcesCoalesced
 	c["wal.transient_retries"] = st.Log.TransientRetries
 	c["wal.truncations_clamped"] = st.Log.TruncationsClamped
+	c["wal.merges"] = st.Log.Merges
+	c["wal.absorbed"] = st.Log.Absorbed
+	c["wal.bytes_elided"] = st.Log.BytesElided
 	for t, n := range st.Log.Records {
 		c["wal.records."+t.String()] = n
 	}

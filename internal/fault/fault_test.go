@@ -17,6 +17,8 @@ func TestTokenRoundTrip(t *testing.T) {
 		{{Chan: ChanStable, Index: 4, Kind: KindTransient, Arg: 2}},
 		{{Chan: ChanWAL, Index: 9, Kind: KindBitFlip, Arg: 1234}},
 		{{Chan: ChanWAL, Index: 2, Kind: KindReorder, Arg: 1}},
+		{{Chan: ChanWALStream, Index: 3, Kind: KindCrash}},
+		{{Chan: ChanWALStream, Index: 0, Kind: KindTransient, Arg: 1}},
 		{
 			{Chan: ChanWAL, Index: 5, Kind: KindTransient, Arg: 3},
 			{Chan: ChanStable, Index: 0, Kind: KindCrash},
@@ -47,6 +49,45 @@ func TestTokenRoundTrip(t *testing.T) {
 		if _, err := ParseToken(bad); err == nil {
 			t.Errorf("ParseToken(%q) accepted", bad)
 		}
+	}
+}
+
+func TestStreamTokenSyntax(t *testing.T) {
+	pt := Point{Chan: ChanWALStream, Index: 2, Kind: KindCrash}
+	if got := pt.String(); got != "stream@2:crash" {
+		t.Errorf("stream point token = %q, want stream@2:crash", got)
+	}
+	for _, tok := range []string{"stream@2:crash", "walstream@2:crash"} {
+		pts, err := ParseToken(tok)
+		if err != nil || len(pts) != 1 || pts[0] != pt {
+			t.Errorf("ParseToken(%q) = %v, %v", tok, pts, err)
+		}
+	}
+}
+
+func TestMergeProbeCrashesAtStreamBoundary(t *testing.T) {
+	// The walstream channel counts stream-merge boundaries: clean consults
+	// pass, the armed one kills the machine with a staged batch unwritten.
+	p := NewPlan(Point{Chan: ChanWALStream, Index: 1, Kind: KindCrash})
+	probe := p.MergeProbe()
+	if err := probe(); err != nil {
+		t.Fatalf("merge 0: %v", err)
+	}
+	if err := probe(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed merge: %v", err)
+	}
+	if !p.Dead() {
+		t.Fatal("plan must be dead after a stream crash")
+	}
+	if err := probe(); err == nil {
+		t.Fatal("dead plan merge passed")
+	}
+	if got := p.Count(ChanWALStream); got != 2 {
+		t.Errorf("stream Count = %d, want 2", got)
+	}
+	p.Heal()
+	if err := probe(); err != nil {
+		t.Errorf("healed merge: %v", err)
 	}
 }
 

@@ -84,6 +84,7 @@ func Analyzers() []*Analyzer {
 		AtomicMix,
 		LogRecPurity,
 		SpanEnd,
+		StreamPurity,
 	}
 }
 

@@ -90,6 +90,7 @@ func TestForceCheckFixture(t *testing.T)   { runFixture(t, ForceCheck, "forceche
 func TestAtomicMixFixture(t *testing.T)    { runFixture(t, AtomicMix, "atomicmix") }
 func TestLogRecPurityFixture(t *testing.T) { runFixture(t, LogRecPurity, "logrecpurity") }
 func TestSpanEndFixture(t *testing.T)      { runFixture(t, SpanEnd, "spanend") }
+func TestStreamPurityFixture(t *testing.T) { runFixture(t, StreamPurity, "streampurity") }
 
 // TestSuppression exercises //lint:ignore in both placements (leading line
 // and trailing comment), plus the negative case: a directive naming a
@@ -131,7 +132,7 @@ func TestMalformedDirective(t *testing.T) {
 
 // TestAnalyzerRegistry pins the suite membership and name lookup.
 func TestAnalyzerRegistry(t *testing.T) {
-	names := []string{"replaydeterminism", "lockorder", "forcecheck", "atomicmix", "logrecpurity", "spanend"}
+	names := []string{"replaydeterminism", "lockorder", "forcecheck", "atomicmix", "logrecpurity", "spanend", "streampurity"}
 	as := Analyzers()
 	if len(as) != len(names) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(names))

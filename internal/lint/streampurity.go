@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// StreamPurity protects the commit fast lane's merge invariant: volatile log
+// records live in per-stream buffers (logStream.recs), the shipped tail
+// (Log.shipped), and the merged staging buffer (Log.mergedBuf), and the
+// durable byte stream is only correct because exactly one code path moves
+// records between them — Append encodes into a stream, AppendShipped into
+// the shipped tail, and the group-commit leader's merge rebuilds global LSN
+// order.  A direct write to any of these buffers from elsewhere can reorder,
+// duplicate, or drop records without tripping a test until a crash replays
+// the damage.  Within package wal, every assignment through one of the
+// buffer fields outside the blessed functions is reported.
+var StreamPurity = &Analyzer{
+	Name: "streampurity",
+	Doc: "flags direct writes to the WAL's volatile log buffers (logStream.recs, " +
+		"Log.shipped, Log.mergedBuf) outside the stream API",
+	Match: matchSuffix("internal/wal"),
+	Run:   runStreamPurity,
+}
+
+// streamPurityAllowed are the functions that legitimately move records
+// between the volatile buffers: the append paths, the merge, and the
+// lifecycle operations that rebuild or discard the buffers wholesale.
+var streamPurityAllowed = map[string]bool{
+	"append":        true, // logStream.append: the encode-into-lane step
+	"drop":          true, // logStream.drop: crash discards a lane
+	"mergeThrough":  true, // the group-commit leader's stream merge
+	"mergeRecord":   true, // one record (or tombstone) into the staging buffer
+	"AppendShipped": true, // standby append into the shipped tail
+	"forceLocked":   true, // releases the staged batch after a device ack
+	"Crash":         true, // drops every volatile buffer
+	"SetStreams":    true, // reconfiguration carries records across lanes
+}
+
+// streamBufferFields maps the guarded struct type to its buffer fields.
+var streamBufferFields = map[string]map[string]bool{
+	"logStream": {"recs": true},
+	"Log":       {"shipped": true, "mergedBuf": true},
+}
+
+func runStreamPurity(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || streamPurityAllowed[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkStreamBufferWrite(p, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkStreamBufferWrite(p, n.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkStreamBufferWrite reports lhs when the expression it writes through
+// selects one of the guarded buffer fields (covering both rebinding the
+// field and writing through an index or slice of it).
+func checkStreamBufferWrite(p *Pass, lhs ast.Expr) {
+	for e := ast.Unparen(lhs); ; {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			next, ok := mutationBase(e)
+			if !ok {
+				return
+			}
+			e = ast.Unparen(next)
+			continue
+		}
+		if field, typ := streamBufferSelection(p, sel); field != "" {
+			p.Reportf(lhs.Pos(),
+				"direct write to %s.%s outside the stream API; volatile records must "+
+					"flow through Append/AppendShipped and the group-commit merge so "+
+					"the durable byte stream stays in dense LSN order", typ, field)
+			return
+		}
+		e = ast.Unparen(sel.X)
+	}
+}
+
+// streamBufferSelection resolves sel and, when it names a guarded buffer
+// field, returns the field and declaring type name.
+func streamBufferSelection(p *Pass, sel *ast.SelectorExpr) (field, typ string) {
+	v, recv := fieldSelection(p.Info, sel)
+	if v == nil {
+		return "", ""
+	}
+	if streamBufferFields[recv][v.Name()] {
+		return v.Name(), recv
+	}
+	return "", ""
+}

@@ -1,0 +1,26 @@
+package streampurity
+
+// Sneak appends into a lane without going through the stream API.
+func Sneak(s *logStream, r streamRec) {
+	s.recs = append(s.recs, r) // want "direct write to logStream.recs"
+}
+
+// Reorder rewrites a buffered record in place.
+func Reorder(s *logStream, r streamRec) {
+	s.recs[0] = r // want "direct write to logStream.recs"
+}
+
+// Inject writes the staging buffer directly, bypassing the merge.
+func Inject(l *Log, frame []byte) {
+	l.mergedBuf = append(l.mergedBuf, frame...) // want "direct write to Log.mergedBuf"
+}
+
+// Smuggle grows the shipped tail outside AppendShipped.
+func Smuggle(l *Log, r streamRec) {
+	l.shipped = append(l.shipped, r) // want "direct write to Log.shipped"
+}
+
+// Truncate drops buffered lane records from an unrelated helper.
+func Truncate(s *logStream) {
+	s.recs = s.recs[:0] // want "direct write to logStream.recs"
+}

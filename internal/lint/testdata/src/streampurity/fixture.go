@@ -1,0 +1,48 @@
+// Package streampurity models the WAL's volatile log buffers: the guarded
+// fields mirror internal/wal's logStream.recs, Log.shipped, and
+// Log.mergedBuf (the analyzer keys on type and field names; Match scopes it
+// to the real package).
+package streampurity
+
+type streamRec struct {
+	lsn   uint64
+	frame []byte
+}
+
+type logStream struct {
+	recs []streamRec
+}
+
+type Log struct {
+	shipped   []streamRec
+	mergedBuf []byte
+}
+
+// append is the blessed encode-into-lane step.
+func (s *logStream) append(r streamRec) {
+	s.recs = append(s.recs, r)
+}
+
+// drop is the blessed crash discard.
+func (s *logStream) drop() {
+	s.recs = nil
+}
+
+// AppendShipped is the blessed shipped-tail append.
+func (l *Log) AppendShipped(r streamRec) {
+	l.shipped = append(l.shipped, r)
+}
+
+// mergeThrough is the blessed stream merge.
+func (l *Log) mergeThrough(s *logStream) {
+	for _, r := range s.recs {
+		l.mergedBuf = append(l.mergedBuf, r.frame...)
+	}
+	s.recs = s.recs[:0]
+}
+
+// Crash is the blessed wholesale discard.
+func (l *Log) Crash() {
+	l.shipped = nil
+	l.mergedBuf = nil
+}

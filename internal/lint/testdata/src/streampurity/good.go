@@ -1,0 +1,25 @@
+package streampurity
+
+// Observe only reads the buffers, which is always fine.
+func Observe(l *Log, s *logStream) int {
+	return len(l.mergedBuf) + len(l.shipped) + len(s.recs)
+}
+
+// CopyOut rebinds locals; no buffer field is written through.
+func CopyOut(s *logStream) []streamRec {
+	recs := s.recs
+	recs = append(recs[:0:0], recs...)
+	return recs
+}
+
+// Suppressed is intentional and says why.
+func Suppressed(l *Log) {
+	//lint:ignore streampurity exercising the suppression path
+	l.mergedBuf = nil
+}
+
+// OtherFields of the same structs stay writable.
+func OtherFields(r *streamRec, lsn uint64, frame []byte) {
+	r.lsn = lsn
+	r.frame = frame
+}

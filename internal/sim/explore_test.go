@@ -17,7 +17,7 @@ var (
 )
 
 // TestCrashScheduleExplorer is the exhaustive crash-schedule sweep: for each
-// of the five configurations, count the scripted workload's I/O boundaries,
+// explorer configuration, count the scripted workload's I/O boundaries,
 // then crash (or tear, flip, reorder, EIO) at every one of them and demand
 // oracle equivalence and stable-state explainability after recovery.
 func TestCrashScheduleExplorer(t *testing.T) {
@@ -38,8 +38,11 @@ func TestCrashScheduleExplorer(t *testing.T) {
 				t.Errorf("only %d I/O boundaries (%d WAL + %d stable); the script no longer exercises the fault space",
 					total, rep.WALBoundaries, rep.StableBoundaries)
 			}
-			t.Logf("%s: %d schedules over %d WAL + %d stable boundaries",
-				cfg.Name, rep.Schedules, rep.WALBoundaries, rep.StableBoundaries)
+			t.Logf("%s: %d schedules over %d WAL + %d stable + %d stream boundaries",
+				cfg.Name, rep.Schedules, rep.WALBoundaries, rep.StableBoundaries, rep.StreamBoundaries)
+			if rep.StreamBoundaries <= 0 {
+				t.Error("no stream-merge boundaries counted; the walstream channel is not wired")
+			}
 			for _, f := range rep.Failures {
 				t.Errorf("schedule failed: %v", f)
 			}

@@ -157,6 +157,15 @@ func EncodeRecord(r *Record) ([]byte, error) {
 		return nil, err
 	}
 	e := &encoder{}
+	encodePayload(e, r)
+	return e.buf, nil
+}
+
+// encodePayload serializes a validated record into e.  It is the single
+// source of the payload byte layout: the heap path (EncodeRecord) and the
+// arena path (AppendFrame) both route through it, so the durable format is
+// byte-identical no matter which encoder produced it.
+func encodePayload(e *encoder, r *Record) {
 	e.u8(uint8(r.Type))
 	e.uvarint(uint64(r.LSN))
 	switch r.Type {
@@ -191,8 +200,28 @@ func EncodeRecord(r *Record) ([]byte, error) {
 			e.str(string(d.ID))
 			e.uvarint(uint64(d.RSI))
 		}
+	case RecAbsorbed:
+		e.str(string(r.Absorbed.Object))
+		e.uvarint(uint64(r.Absorbed.Elided))
 	}
-	return e.buf, nil
+}
+
+// AppendFrame appends the framed encoding of a validated record to buf and
+// returns the extended slice.  When buf has enough spare capacity (an arena
+// chunk) the frame is built in place with no allocation: the 8 framing bytes
+// are reserved, the payload is encoded after them, and length + CRC are
+// backfilled.  The caller must have validated r; the byte layout matches
+// Frame(EncodeRecord(r)) exactly.
+func AppendFrame(buf []byte, r *Record) []byte {
+	start := len(buf)
+	var hdr [frameOverhead]byte
+	e := &encoder{buf: append(buf, hdr[:]...)}
+	encodePayload(e, r)
+	out := e.buf
+	payload := out[start+frameOverhead:]
+	binary.LittleEndian.PutUint32(out[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[start+4:start+8], crc32.Checksum(payload, crcTable))
+	return out
 }
 
 // DecodeRecord parses a record payload produced by EncodeRecord.  The
@@ -319,6 +348,16 @@ func decodeRecord(payload []byte, alias bool) (*Record, error) {
 			cr.Dirty = append(cr.Dirty, DirtyEntry{ID: op.ObjectID(x), RSI: op.SI(rsi)})
 		}
 		r.Checkpoint = cr
+	case RecAbsorbed:
+		x, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		elided, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		r.Absorbed = &AbsorbedRecord{Object: op.ObjectID(x), Elided: int64(elided)}
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", t)
 	}

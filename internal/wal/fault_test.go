@@ -285,3 +285,61 @@ func TestForceRetriesTransientFaults(t *testing.T) {
 		t.Fatalf("force error = %v, want transient failure after retries exhausted", err)
 	}
 }
+
+// TestStreamMergeBoundaryCrash arms the walstream channel: the group-commit
+// leader merges the per-core streams into a staged batch, the machine dies
+// before the batch reaches the device, and recovery must see exactly the
+// previously forced prefix — the staged batch is volatile, so merged-order
+// operation is schedule-equivalent to single-stream operation.
+func TestStreamMergeBoundaryCrash(t *testing.T) {
+	plan := fault.NewPlan(fault.Point{
+		Chan: fault.ChanWALStream, Index: 1, Kind: fault.KindCrash,
+	})
+	dev := plan.WrapDevice(wal.NewMemDevice())
+	l, err := wal.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetStreams(4, true)
+	l.SetMergeProbe(plan.MergeProbe())
+
+	// First batch merges and forces cleanly (stream boundary 0).
+	mustAppendRec(t, l, wal.NewOpRecord(op.NewPhysicalWrite("X", []byte("v1"))))
+	if err := l.Force(); err != nil {
+		t.Fatalf("clean force: %v", err)
+	}
+
+	// Second batch is staged at boundary 1 and never hits the device.
+	mustAppendRec(t, l, wal.NewOpRecord(op.NewPhysicalWrite("X", []byte("v2"))))
+	mustAppendRec(t, l, wal.NewOpRecord(op.NewPhysicalWrite("Y", []byte("w"))))
+	if err := l.Force(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("force error = %v, want injected fault", err)
+	}
+	if l.StableLSN() != 1 {
+		t.Errorf("StableLSN = %d, want 1 after merge-boundary crash", l.StableLSN())
+	}
+
+	// The machine stopped: recovery reopens the device and must find only
+	// the forced prefix, with no trace of the staged batch.
+	l.Crash()
+	plan.Heal()
+	l2, err := wal.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := l2.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sc.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LSN != 1 {
+		t.Fatalf("post-crash durable log = %v, want only LSN 1", recs)
+	}
+	// The restarted log reuses the lost LSNs, keeping the stream dense.
+	if lsn := mustAppendRec(t, l2, wal.NewOpRecord(op.NewPhysicalWrite("Z", []byte("z")))); lsn != 2 {
+		t.Errorf("post-crash LSN = %d, want 2", lsn)
+	}
+}

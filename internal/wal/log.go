@@ -4,24 +4,29 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"logicallog/internal/obs"
 	"logicallog/internal/op"
 )
 
-// Log is the write-ahead log.  Appended records first land in a volatile
-// tail buffer; Force (or ForceThrough) makes them durable on the Device.
-// A crash loses the volatile tail.  LSNs are assigned densely starting at 1
-// and double as state identifiers (SIs) throughout the system.
+// Log is the write-ahead log.  Appended records first land in volatile
+// per-lane stream buffers (the commit fast lane; see stream.go); Force (or
+// ForceThrough) merges the streams into global LSN order and makes the
+// records durable on the Device.  A crash loses everything volatile.  LSNs
+// are assigned densely starting at 1 and double as state identifiers (SIs)
+// throughout the system.
 //
-// Log is safe for concurrent use.  Concurrent forcers group-commit: while
-// one caller (the leader) is writing the tail to the device, later callers
-// whose records are covered by that in-flight write wait on it instead of
-// issuing their own device write (leader/follower coalescing).  The device
-// write itself happens outside the log mutex, so appenders keep running
-// while a force is in flight.
+// Log is safe for concurrent use.  Appenders contend only on their stream's
+// mutex plus one atomic LSN claim, not on the log mutex.  Concurrent forcers
+// group-commit: while one caller (the leader) is writing the merged batch to
+// the device, later callers whose records are covered by that in-flight
+// write wait on it instead of issuing their own device write
+// (leader/follower coalescing).  The device write itself happens outside the
+// log mutex, so appenders keep running while a force is in flight.
 type Log struct {
 	mu        sync.Mutex
 	forceDone *sync.Cond // broadcast when an in-flight force completes
@@ -31,10 +36,43 @@ type Log struct {
 	// absorbs all of them in one device write.
 	pendingForce op.SI
 	dev          Device
-	nextLSN      op.SI
-	stableLSN    op.SI
-	firstLSN     op.SI // first LSN still on the device (post truncation)
-	tail         []pending
+
+	// nextLSN is the next LSN to assign.  Claims happen while a stream
+	// mutex is held, which is what makes the merged prefix provably dense
+	// (see stream.go).
+	nextLSN atomic.Uint64
+
+	stableLSN op.SI
+	firstLSN  op.SI // first LSN still on the device (post truncation)
+
+	// lanes is the active stream configuration; Append reads it without
+	// locks, SetStreams swaps it under l.mu.
+	lanes atomic.Pointer[streamSet]
+
+	// shipped buffers records appended via AppendShipped.  Shipped records
+	// bypass the streams (and with them the absorption index): a standby's
+	// log must stay a byte-exact prefix copy of its primary's.
+	shipped []streamRec
+
+	// absorbIdx is the cross-stream absorption index, sharded by object so
+	// concurrent appenders contend only when they touch objects hashing to
+	// the same shard (see stream.go).
+	absorbIdx [absorbShardCount]absorbShard
+
+	// Merged staging: records collected out of the streams in LSN order,
+	// framed, not yet acknowledged by the device.  Kept across a failed
+	// device write so a retrying leader re-sends the same bytes; dropped by
+	// Crash (mergedGen tells an in-flight leader its batch was crashed away).
+	mergedBuf   []byte
+	mergedCount int
+	mergedLast  op.SI
+	mergedGen   uint64
+	mergeRuns   [][]streamRec
+
+	// mergeProbe, when set, is consulted by the group-commit leader each
+	// time it is about to write a freshly merged non-empty batch — the
+	// stream-merge fault boundary (see SetMergeProbe).
+	mergeProbe func() error
 
 	// Transient-fault retry policy for device appends (see SetRetryPolicy).
 	retryMax  int
@@ -61,7 +99,7 @@ type retentionHook struct {
 // handles are nil when observability is off; every update below is nil-safe
 // and clock reads are guarded, so the disabled overhead is a pointer test.
 type logObs struct {
-	// appendNs is the Append latency (encode + tail buffering), in ns.
+	// appendNs is the Append latency (encode + stream buffering), in ns.
 	appendNs *obs.Histogram
 	// forceDeviceNs is the per-force device write latency, in ns.
 	forceDeviceNs *obs.Histogram
@@ -72,6 +110,14 @@ type logObs struct {
 	forceBatchBytes *obs.Histogram
 	// retryBackoffNs is the transient-retry backoff slept per attempt.
 	retryBackoffNs *obs.Histogram
+	// mergeNs is the stream-merge latency per force, in ns.
+	mergeNs *obs.Histogram
+	// mergeRecords is the records merged per stream merge.
+	mergeRecords *obs.Histogram
+	// absorbHits counts records elided by log absorption.
+	absorbHits *obs.Counter
+	// absorbBytesElided counts durable bytes saved by log absorption.
+	absorbBytesElided *obs.Counter
 }
 
 // SetObs wires the log's hot-path metrics into r; nil disables them.
@@ -80,20 +126,24 @@ func (l *Log) SetObs(r *obs.Registry) {
 	defer l.mu.Unlock()
 	if r == nil {
 		l.obs = logObs{}
-		return
+	} else {
+		l.obs = logObs{
+			appendNs:          r.Histogram("wal.append.ns"),
+			forceDeviceNs:     r.Histogram("wal.force.device_ns"),
+			forceBatchRecords: r.Histogram("wal.force.batch_records"),
+			forceBatchBytes:   r.Histogram("wal.force.batch_bytes"),
+			retryBackoffNs:    r.Histogram("wal.retry.backoff_ns"),
+			mergeNs:           r.Histogram("wal.merge.ns"),
+			mergeRecords:      r.Histogram("wal.merge.records"),
+			absorbHits:        r.Counter("wal.absorb.hits"),
+			absorbBytesElided: r.Counter("wal.absorb.bytes_elided"),
+		}
 	}
-	l.obs = logObs{
-		appendNs:          r.Histogram("wal.append.ns"),
-		forceDeviceNs:     r.Histogram("wal.force.device_ns"),
-		forceBatchRecords: r.Histogram("wal.force.batch_records"),
-		forceBatchBytes:   r.Histogram("wal.force.batch_bytes"),
-		retryBackoffNs:    r.Histogram("wal.retry.backoff_ns"),
+	ss := l.lockAllStreams()
+	for _, s := range ss {
+		s.obs = l.obs
 	}
-}
-
-type pending struct {
-	lsn   op.SI
-	frame []byte
+	l.unlockAllStreams(ss)
 }
 
 // Stats aggregates the logging-cost accounting the experiments report.
@@ -108,7 +158,8 @@ type Stats struct {
 	// ValueBytes counts bytes of logged data values (the part logical
 	// operations avoid).
 	ValueBytes int64
-	// BytesAppended is the total framed bytes appended.
+	// BytesAppended is the total framed bytes appended (pre-absorption:
+	// absorbed records count at their original size).
 	BytesAppended int64
 	// Forces counts Force calls that actually wrote to the device.
 	Forces int64
@@ -122,6 +173,14 @@ type Stats struct {
 	// less far than requested because a registered retention horizon
 	// (backup image, lagging standby) still needed earlier records.
 	TruncationsClamped int64
+	// Merges counts stream merges that moved at least one record.
+	Merges int64
+	// Absorbed counts records elided by log absorption (replaced by a
+	// RecAbsorbed tombstone in the durable log).
+	Absorbed int64
+	// BytesElided is the durable bytes saved by absorption: original frame
+	// size minus tombstone frame size, summed over absorbed records.
+	BytesElided int64
 }
 
 // transient matches errors that mark themselves retryable, such as the
@@ -137,21 +196,43 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t) && t.Transient()
 }
 
-// TransientBackoff returns the capped exponential delay before the given
-// 1-based retry attempt.
-func TransientBackoff(attempt int, base, max time.Duration) time.Duration {
-	if base <= 0 {
+// Backoff is a capped exponential backoff sequence: base, 2·base, 4·base,
+// ..., clamped to max.  Unlike recomputing the delay from the attempt number
+// each iteration (the old TransientBackoff call pattern), the state is
+// advanced incrementally, so a retry loop does O(1) work per attempt.
+type Backoff struct {
+	next time.Duration
+	max  time.Duration
+}
+
+// NewBackoff returns a backoff sequence starting at base and doubling per
+// Next call, clamped to max (max <= 0 means uncapped).
+func NewBackoff(base, max time.Duration) Backoff {
+	return Backoff{next: base, max: max}
+}
+
+// Next returns the next delay in the sequence and advances it.
+func (b *Backoff) Next() time.Duration {
+	d := b.next
+	if d <= 0 {
 		return 0
 	}
-	d := base
-	for i := 1; i < attempt; i++ {
-		d *= 2
-		if d >= max {
-			return max
-		}
+	if b.max > 0 && d >= b.max {
+		b.next = b.max
+		return b.max
 	}
-	if max > 0 && d > max {
-		return max
+	b.next = d * 2
+	return d
+}
+
+// TransientBackoff returns the capped exponential delay before the given
+// 1-based retry attempt.  Retry loops should prefer a Backoff value hoisted
+// out of the loop; this closed form is kept for one-shot queries.
+func TransientBackoff(attempt int, base, max time.Duration) time.Duration {
+	b := NewBackoff(base, max)
+	d := time.Duration(0)
+	for i := 0; i < attempt; i++ {
+		d = b.Next()
 	}
 	return d
 }
@@ -184,6 +265,29 @@ func (s Stats) clone() Stats {
 	return c
 }
 
+// add folds another snapshot's counts into s (used to aggregate the
+// per-stream append-side stats into one view).
+func (s *Stats) add(o Stats) {
+	for k, v := range o.Records {
+		s.Records[k] += v
+	}
+	for k, v := range o.PayloadBytes {
+		s.PayloadBytes[k] += v
+	}
+	for k, v := range o.OpPayloadBytes {
+		s.OpPayloadBytes[k] += v
+	}
+	s.ValueBytes += o.ValueBytes
+	s.BytesAppended += o.BytesAppended
+	s.Forces += o.Forces
+	s.ForcesCoalesced += o.ForcesCoalesced
+	s.TransientRetries += o.TransientRetries
+	s.TruncationsClamped += o.TruncationsClamped
+	s.Merges += o.Merges
+	s.Absorbed += o.Absorbed
+	s.BytesElided += o.BytesElided
+}
+
 // TotalOpPayloadBytes sums operation payload bytes across kinds.
 func (s Stats) TotalOpPayloadBytes() int64 {
 	var t int64
@@ -195,9 +299,15 @@ func (s Stats) TotalOpPayloadBytes() int64 {
 
 // New creates a Log over dev.  If dev already holds records (restart after
 // crash), the log resumes LSN assignment after the highest durable record.
+// The log starts with a single stream and absorption off; see SetStreams.
 func New(dev Device) (*Log, error) {
-	l := &Log{dev: dev, nextLSN: 1, firstLSN: 1, stats: newStats()}
+	l := &Log{dev: dev, firstLSN: 1, stats: newStats()}
+	l.nextLSN.Store(1)
 	l.forceDone = sync.NewCond(&l.mu)
+	l.lanes.Store(&streamSet{streams: []*logStream{{stats: newStats()}}})
+	for i := range l.absorbIdx {
+		l.absorbIdx[i].reset()
+	}
 	// Recover LSN horizon from existing contents.
 	data, err := dev.ReadAll()
 	if err != nil {
@@ -220,10 +330,54 @@ func New(dev Device) (*Log, error) {
 			break // LSN gap: a lost write; the log ends at the gap
 		}
 		l.stableLSN = rec.LSN
-		l.nextLSN = rec.LSN + 1
+		l.nextLSN.Store(uint64(rec.LSN) + 1)
 		data = data[n:]
 	}
 	return l, nil
+}
+
+// SetStreams configures the commit fast lane: n per-lane append streams
+// (clamped to [1, 64]) and whether log absorption is enabled.  Any records
+// already buffered are re-homed, so reconfiguration is safe at any quiesced
+// point; the durable byte stream is identical at every stream count.
+func (l *Log) SetStreams(n int, absorb bool) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxLogStreams {
+		n = maxLogStreams
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.lockAllStreams()
+	var carry []streamRec
+	for _, s := range old {
+		carry = append(carry, s.recs...)
+		s.recs = nil
+	}
+	sort.Slice(carry, func(i, j int) bool { return carry[i].lsn < carry[j].lsn })
+	streams := make([]*logStream, n)
+	for i := range streams {
+		streams[i] = &logStream{stats: newStats(), obs: l.obs}
+	}
+	streams[0].recs = carry
+	// Fold the retired streams' append accounting into the log-level stats
+	// so Stats snapshots lose nothing across a reconfiguration.
+	for _, s := range old {
+		l.stats.add(s.stats)
+	}
+	l.lanes.Store(&streamSet{streams: streams, absorb: absorb})
+	l.unlockAllStreams(old)
+}
+
+// SetMergeProbe installs a hook the group-commit leader calls each time it
+// has merged a non-empty batch and is about to write it to the device — the
+// stream-merge fault boundary.  A non-nil error aborts the force before the
+// device write; the merged records stay volatile.  nil removes the hook.
+func (l *Log) SetMergeProbe(fn func() error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mergeProbe = fn
 }
 
 // SetRetryPolicy configures transient-fault retry for device appends in
@@ -238,37 +392,41 @@ func (l *Log) SetRetryPolicy(maxRetries int, base, cap time.Duration) {
 	l.retryCap = cap
 }
 
-// Append assigns the next LSN to rec, encodes it into the volatile tail, and
+// Append assigns the next LSN to rec, encodes it into a volatile stream, and
 // returns the LSN.  For operation records the operation's LSN field is set,
 // binding the operation's lSI.  Append does NOT force; the WAL protocol's
 // forcing happens before installation (see ForceThrough).
 func (l *Log) Append(rec *Record) (op.SI, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var appendStart time.Time
-	if l.obs.appendNs.Enabled() {
-		appendStart = time.Now()
-	}
-	rec.LSN = l.nextLSN
-	if rec.Op != nil {
-		rec.Op.LSN = rec.LSN
-	}
-	payload, err := EncodeRecord(rec)
-	if err != nil {
-		rec.LSN = 0
-		if rec.Op != nil {
-			rec.Op.LSN = 0
-		}
+	if err := rec.Validate(); err != nil {
 		return 0, err
 	}
-	l.nextLSN++
-	frame := Frame(payload)
-	l.tail = append(l.tail, pending{lsn: rec.LSN, frame: frame})
-	l.noteAppendLocked(rec, payload, frame)
-	if l.obs.appendNs.Enabled() {
-		l.obs.appendNs.Since(appendStart)
+	set := l.lanes.Load()
+	var obj op.ObjectID
+	if set.absorb {
+		obj, _ = absorbTarget(rec)
 	}
-	return rec.LSN, nil
+	s := set.pick()
+	s.mu.Lock()
+	var appendStart time.Time
+	if s.obs.appendNs.Enabled() {
+		appendStart = time.Now()
+	}
+	// The claim happens inside the stream critical section: that is the
+	// density invariant the merge relies on (see stream.go).
+	lsn := op.SI(l.nextLSN.Add(1) - 1)
+	rec.LSN = lsn
+	if rec.Op != nil {
+		rec.Op.LSN = lsn
+	}
+	sr := s.append(rec, lsn, obj)
+	if set.absorb {
+		l.noteAbsorb(rec, sr)
+	}
+	if s.obs.appendNs.Enabled() {
+		s.obs.appendNs.Since(appendStart)
+	}
+	s.mu.Unlock()
+	return lsn, nil
 }
 
 // AppendOp is shorthand for Append(NewOpRecord(o)).
@@ -279,34 +437,41 @@ func (l *Log) AppendOp(o *op.Operation) (op.SI, error) { return l.Append(NewOpRe
 // gap-free prefix copy of the primary's, so the record has to land exactly
 // at the next LSN; the one exception is a completely fresh log (bootstrap
 // from a backup image), which adopts the stream's first LSN as its origin.
-// Like Append, AppendShipped does not force.
+// Shipped records bypass the streams and the absorption index entirely:
+// they are buffered in arrival (= LSN) order and are never elided, keeping
+// the standby log byte-identical to the primary's.  Like Append,
+// AppendShipped does not force.
 func (l *Log) AppendShipped(rec *Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if rec.LSN == 0 {
 		return fmt.Errorf("wal: shipped record has no LSN")
 	}
-	if l.nextLSN == 1 && l.stableLSN == 0 && len(l.tail) == 0 {
-		// Fresh log: adopt the stream origin (backup StartLSN).
-		l.firstLSN = rec.LSN
-		l.nextLSN = rec.LSN
+	if l.stableLSN == 0 {
+		// Fresh log: adopt the stream origin (backup StartLSN).  nextLSN
+		// still at 1 means nothing was ever appended or merged, so no
+		// volatile record can exist either.
+		if l.nextLSN.CompareAndSwap(1, uint64(rec.LSN)) {
+			l.firstLSN = rec.LSN
+		}
 	}
-	if rec.LSN != l.nextLSN {
-		return fmt.Errorf("wal: shipped record LSN %d, want %d", rec.LSN, l.nextLSN)
+	if !l.nextLSN.CompareAndSwap(uint64(rec.LSN), uint64(rec.LSN)+1) {
+		return fmt.Errorf("wal: shipped record LSN %d, want %d", rec.LSN, l.nextLSN.Load())
 	}
 	payload, err := EncodeRecord(rec)
 	if err != nil {
+		// Give the claimed LSN back; the caller's record never landed.
+		l.nextLSN.Store(uint64(rec.LSN))
 		return err
 	}
-	l.nextLSN++
 	frame := Frame(payload)
-	l.tail = append(l.tail, pending{lsn: rec.LSN, frame: frame})
-	l.noteAppendLocked(rec, payload, frame)
+	l.shipped = append(l.shipped, streamRec{lsn: rec.LSN, frame: frame})
+	l.noteShippedLocked(rec, payload, frame)
 	return nil
 }
 
-// noteAppendLocked updates the append statistics for one encoded record.
-func (l *Log) noteAppendLocked(rec *Record, payload, frame []byte) {
+// noteShippedLocked updates the append statistics for one shipped record.
+func (l *Log) noteShippedLocked(rec *Record, payload, frame []byte) {
 	l.stats.Records[rec.Type]++
 	l.stats.PayloadBytes[rec.Type] += int64(len(payload))
 	l.stats.BytesAppended += int64(len(frame))
@@ -322,7 +487,7 @@ func (l *Log) noteAppendLocked(rec *Record, payload, frame []byte) {
 func (l *Log) Force() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.forceLocked(l.nextLSN - 1)
+	return l.forceLocked(op.SI(l.nextLSN.Load()) - 1)
 }
 
 // ForceThrough makes records up to and including lsn durable (WAL protocol:
@@ -341,11 +506,12 @@ func (l *Log) ForceThrough(lsn op.SI) error {
 // pendingForce and waits as a follower: when the leader finishes, a
 // follower whose lsn the write covered returns without touching the device
 // (counted in ForcesCoalesced).  A caller that finds no force in flight
-// becomes the leader and writes, in one device append, the tail prefix
-// covering its own target and every target accumulated in pendingForce —
-// coalescing concurrent committers without forcing records nobody asked
-// for (the unforced suffix stays crash-losable, which the simulator's
-// crash model depends on).
+// becomes the leader: it merges every stream's records covering its own
+// target and every target accumulated in pendingForce into the staging
+// buffer (absorption tombstones are substituted here; see mergeThrough) and
+// writes the staged batch in one device append — coalescing concurrent
+// committers without forcing records nobody asked for (the unforced suffix
+// stays crash-losable, which the simulator's crash model depends on).
 func (l *Log) forceLocked(lsn op.SI) error {
 	joined := false
 	for {
@@ -370,20 +536,19 @@ func (l *Log) forceLocked(lsn op.SI) error {
 		target = l.pendingForce
 	}
 	l.pendingForce = 0
-	var buf []byte
-	n := 0
-	last := op.SI(0)
-	for _, p := range l.tail {
-		if p.lsn > target {
-			break
-		}
-		buf = append(buf, p.frame...)
-		last = p.lsn
-		n++
-	}
-	if n == 0 {
+	l.mergeThrough(target)
+	if l.mergedCount == 0 {
 		return nil
 	}
+	if l.mergeProbe != nil {
+		if err := l.mergeProbe(); err != nil {
+			return fmt.Errorf("wal: force: %w", err)
+		}
+	}
+	buf := l.mergedBuf
+	n := l.mergedCount
+	last := l.mergedLast
+	gen := l.mergedGen
 	l.forcing = true
 	retryMax, retryBase, retryCap := l.retryMax, l.retryBase, l.retryCap
 	hooks := l.obs
@@ -394,10 +559,11 @@ func (l *Log) forceLocked(lsn op.SI) error {
 	}
 	err := l.dev.Append(buf)
 	var retries int64
+	backoff := NewBackoff(retryBase, retryCap)
 	for attempt := 1; err != nil && attempt <= retryMax && IsTransient(err); attempt++ {
-		backoff := TransientBackoff(attempt, retryBase, retryCap)
-		hooks.retryBackoffNs.ObserveDuration(backoff)
-		time.Sleep(backoff)
+		d := backoff.Next()
+		hooks.retryBackoffNs.ObserveDuration(d)
+		time.Sleep(d)
 		retries++
 		err = l.dev.Append(buf)
 	}
@@ -413,11 +579,12 @@ func (l *Log) forceLocked(lsn op.SI) error {
 		if last > l.stableLSN {
 			l.stableLSN = last
 		}
-		// Drop exactly the frames written.  Crash may have emptied the
-		// tail meanwhile; the device write still happened, so stableLSN
-		// stands either way.
-		if len(l.tail) >= n && l.tail[n-1].lsn == last {
-			l.tail = l.tail[n:]
+		// Drop exactly the staged batch written.  Crash may have reset the
+		// staging buffer meanwhile (mergedGen moved); the device write still
+		// happened, so stableLSN stands either way.
+		if l.mergedGen == gen {
+			l.mergedBuf = nil
+			l.mergedCount = 0
 		}
 		l.stats.Forces++
 	}
@@ -437,9 +604,7 @@ func (l *Log) StableLSN() op.SI {
 
 // NextLSN returns the LSN the next Append will assign.
 func (l *Log) NextLSN() op.SI {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.nextLSN
+	return op.SI(l.nextLSN.Load())
 }
 
 // FirstLSN returns the earliest LSN still on the device.
@@ -449,13 +614,39 @@ func (l *Log) FirstLSN() op.SI {
 	return l.firstLSN
 }
 
-// Crash drops the volatile tail, simulating a crash; it returns the number
-// of records lost.  The device (stable log) is untouched.
+// volatileCountLocked counts buffered records not yet acknowledged by the
+// device.  Caller holds l.mu and every stream mutex.
+func (l *Log) volatileCountLocked(ss []*logStream) int {
+	n := l.mergedCount + len(l.shipped)
+	for _, s := range ss {
+		n += s.volatileCount()
+	}
+	return n
+}
+
+// Crash drops every volatile record (stream buffers, shipped tail, and the
+// merged staging buffer), simulating a crash; it returns the number of
+// records lost.  The device (stable log) is untouched.
 func (l *Log) Crash() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := len(l.tail)
-	l.tail = nil
+	ss := l.lockAllStreams()
+	n := l.mergedCount + len(l.shipped)
+	for _, s := range ss {
+		n += s.drop()
+	}
+	l.shipped = nil
+	l.mergedBuf = nil
+	l.mergedCount = 0
+	l.mergedLast = 0
+	l.mergedGen++
+	for i := range l.absorbIdx {
+		sh := &l.absorbIdx[i]
+		sh.mu.Lock()
+		sh.reset()
+		sh.mu.Unlock()
+	}
+	l.unlockAllStreams(ss)
 	// LSN assignment continues monotonically after recovery; recovery
 	// itself may log fresh records.
 	return n
@@ -532,13 +723,13 @@ func (l *Log) trimTornTailLocked() (int, error) {
 // Restart re-synchronizes the log with its device at recovery time, as a
 // process restart's New would: it waits out any in-flight force, trims the
 // untrustworthy tail a mid-append crash left behind (see TrimTornTail), and
-// — when the volatile tail is empty, i.e. the caller crashed first —
+// — when the volatile buffers are empty, i.e. the caller crashed first —
 // rewinds the LSN horizon to the durable log so the LSNs of lost records
-// are reused and the durable log stays gap-free.  With a non-empty tail
-// (recovery without a crash) the horizon is left alone: the tail still owns
-// its LSNs.  An empty device also leaves the horizon alone, because
-// checkpoint truncation legitimately erases records whose LSNs must not be
-// reassigned.
+// are reused and the durable log stays gap-free.  With volatile records
+// still buffered (recovery without a crash) the horizon is left alone: the
+// buffers still own their LSNs.  An empty device also leaves the horizon
+// alone, because checkpoint truncation legitimately erases records whose
+// LSNs must not be reassigned.
 func (l *Log) Restart() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -548,7 +739,9 @@ func (l *Log) Restart() error {
 	if _, err := l.trimTornTailLocked(); err != nil {
 		return fmt.Errorf("wal: restart: %w", err)
 	}
-	if len(l.tail) != 0 {
+	ss := l.lockAllStreams()
+	defer l.unlockAllStreams(ss)
+	if l.volatileCountLocked(ss) != 0 {
 		return nil
 	}
 	data, err := l.dev.ReadAll()
@@ -581,7 +774,7 @@ func (l *Log) Restart() error {
 		// records are durable, so the horizon advances over them.
 		l.stableLSN = last
 	}
-	l.nextLSN = l.stableLSN + 1
+	l.nextLSN.Store(uint64(l.stableLSN) + 1)
 	return nil
 }
 
@@ -771,11 +964,18 @@ func (l *Log) LastCheckpoint() (*Record, error) {
 	}
 }
 
-// Stats returns a snapshot of the logging statistics.
+// Stats returns a snapshot of the logging statistics, aggregated across the
+// log-level counters and every stream's append-side accounting.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats.clone()
+	out := l.stats.clone()
+	ss := l.lockAllStreams()
+	for _, s := range ss {
+		out.add(s.stats)
+	}
+	l.unlockAllStreams(ss)
+	return out
 }
 
 // ResetStats zeroes the statistics (benchmarks use this between phases).
@@ -783,4 +983,9 @@ func (l *Log) ResetStats() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.stats = newStats()
+	ss := l.lockAllStreams()
+	for _, s := range ss {
+		s.stats = newStats()
+	}
+	l.unlockAllStreams(ss)
 }
