@@ -460,8 +460,13 @@ func (l *Log) AppendShipped(rec *Record) error {
 	}
 	payload, err := EncodeRecord(rec)
 	if err != nil {
-		// Give the claimed LSN back; the caller's record never landed.
-		l.nextLSN.Store(uint64(rec.LSN))
+		// Give the claimed LSN back; the caller's record never landed.  CAS,
+		// not Store: nothing stops a caller from mixing local Appends with
+		// shipped records, and a concurrent Append may have claimed the next
+		// LSN already — rewinding over it would reissue a claimed LSN.  If
+		// the CAS loses, the claimed LSN is simply left as a gap at the
+		// durable tail, which Scan and recovery already treat as end-of-log.
+		l.nextLSN.CompareAndSwap(uint64(rec.LSN)+1, uint64(rec.LSN))
 		return err
 	}
 	frame := Frame(payload)

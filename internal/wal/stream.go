@@ -122,6 +122,30 @@ func (s *logStream) drop() int {
 // merged in the same batch.  If the force horizon covers the absorbed record
 // and not its absorber, the absorption is cancelled and the record merges in
 // full, because a crash after the force must still recover its value.
+//
+// Ordering.  LSN claims are atomic, but each record's index update runs
+// under its own stream's mutex, so updates for records on different streams
+// can reach a shard in either order.  Every index decision is therefore
+// guarded by explicit LSN comparisons rather than arrival order:
+//
+//   - The candidate for an object is always its highest-LSN volatile blind
+//     write; a write that arrives at the shard after a higher-LSN write is
+//     itself the superseded record, never the absorber.
+//   - Record a may be elided by record b only when a < b and no observer —
+//     a record reading, deleting, or non-blindly writing the object — has
+//     an LSN inside (a, b).  Each shard tracks maxObs, the per-object
+//     maximum observer LSN; registration and absorption refuse whenever
+//     maxObs could put an observer inside the elision interval (maxObs is
+//     only a maximum, so the checks are conservative).
+//   - An observer whose index update arrives after an absorption was
+//     already recorded cancels any pair whose interval contains it.
+//
+// The cancellation in the last point cannot lose to the merge: an observer
+// updates the index while still holding its stream mutex, the merging
+// leader takes every stream mutex, and no pair with by > observer can exist
+// before the observer's LSN was claimed (LSNs are monotone) — so a
+// tombstone is never written for an interval containing a claimed-but-
+// unregistered observer.
 
 // candInfo is the absorption index entry for an object's latest volatile
 // candidate write.
@@ -176,6 +200,13 @@ type absorbShard struct {
 	mu       sync.Mutex
 	cands    map[op.ObjectID]candInfo
 	absorbed map[op.SI]absorbedPair
+	// maxObs is, per object, the highest LSN of any volatile record that
+	// observed the object (read it, deleted it, or wrote it non-blindly).
+	// Candidate registration and absorption consult it so that no record
+	// observed by a later operation is ever elided, even when index updates
+	// arrive out of LSN order across streams.  Entries at or below the merge
+	// horizon are pruned at merge time.
+	maxObs map[op.ObjectID]op.SI
 }
 
 // reset empties the shard (init and crash).  Caller holds sh.mu (or is the
@@ -183,6 +214,7 @@ type absorbShard struct {
 func (sh *absorbShard) reset() {
 	sh.cands = make(map[op.ObjectID]candInfo)
 	sh.absorbed = make(map[op.SI]absorbedPair)
+	sh.maxObs = make(map[op.ObjectID]op.SI)
 }
 
 // absorbShardFor returns the shard owning obj's index entries (FNV-1a).
@@ -195,44 +227,95 @@ func (l *Log) absorbShardFor(obj op.ObjectID) *absorbShard {
 	return &l.absorbIdx[h&(absorbShardCount-1)]
 }
 
-// clearCand drops obj's absorption candidate, if any: a later record
-// observed the object, so the candidate must merge in full.
-func (l *Log) clearCand(obj op.ObjectID) {
+// observe records that the record at lsn observed obj (read it, deleted it,
+// or wrote it non-blindly): it raises the object's observer horizon, drops
+// any candidate the observer pins (one with a lower LSN — a higher-LSN
+// candidate postdates the observer and stays absorbable), and cancels any
+// already-recorded absorption whose elision interval contains the observer.
+// That last case arises only from out-of-LSN-order index updates: the
+// absorption was decided before the observer's update reached the shard.
+func (l *Log) observe(obj op.ObjectID, lsn op.SI) {
 	sh := l.absorbShardFor(obj)
 	sh.mu.Lock()
-	delete(sh.cands, obj)
+	if sh.maxObs[obj] < lsn {
+		sh.maxObs[obj] = lsn
+	}
+	if c, ok := sh.cands[obj]; ok && c.lsn < lsn {
+		delete(sh.cands, obj)
+	}
+	for alsn, pair := range sh.absorbed {
+		if pair.obj == obj && alsn < lsn && lsn < pair.by {
+			delete(sh.absorbed, alsn)
+		}
+	}
 	sh.mu.Unlock()
+}
+
+// noteCandidate registers a blind single-object write in the absorption
+// index.  Updates from different streams can arrive out of LSN order, so
+// every decision is LSN-guarded (see the ordering notes above): the
+// highest-LSN write stays the candidate, only an older record is ever
+// marked absorbed by a newer one, and nothing is registered or absorbed
+// across a recorded observer.
+func (l *Log) noteCandidate(sr streamRec) {
+	sh := l.absorbShardFor(sr.obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obsLSN := sh.maxObs[sr.obj]
+	payload := int64(len(sr.frame) - frameOverhead)
+	prev, ok := sh.cands[sr.obj]
+	switch {
+	case !ok:
+		// First volatile write; a candidate must postdate every recorded
+		// observer, or a future absorber could elide it across a read.
+		if obsLSN < sr.lsn {
+			sh.cands[sr.obj] = candInfo{lsn: sr.lsn, payload: payload}
+		}
+	case prev.lsn < sr.lsn:
+		// Normal order: sr supersedes prev.  maxObs < prev.lsn proves the
+		// interval (prev.lsn, sr.lsn) is observer-free.
+		if obsLSN < prev.lsn {
+			sh.absorbed[prev.lsn] = absorbedPair{obj: sr.obj, payload: prev.payload, by: sr.lsn}
+		}
+		if obsLSN < sr.lsn {
+			sh.cands[sr.obj] = candInfo{lsn: sr.lsn, payload: payload}
+		} else {
+			delete(sh.cands, sr.obj)
+		}
+	default:
+		// Inverted arrival: the registered candidate already has the higher
+		// LSN, so sr is the superseded record — absorb it, keep prev.
+		// Registering sr instead would tombstone the later write and replay
+		// to the older value.
+		if obsLSN < sr.lsn {
+			sh.absorbed[sr.lsn] = absorbedPair{obj: sr.obj, payload: payload, by: prev.lsn}
+		}
+	}
 }
 
 // noteAbsorb updates the absorption index for one appended record.  The
 // caller holds the record's stream mutex.  Reads pin: any record reading (or
-// deleting, or non-blindly writing) an object clears its candidate, so no
-// record observed by a later operation is ever elided.  Every index update
-// is per-object, so a multi-object record touches its shards one at a time —
-// there is no invariant spanning two objects.
+// deleting, or non-blindly writing) an object raises its observer horizon,
+// so no record observed by a later operation is ever elided.  Every index
+// update is per-object, so a multi-object record touches its shards one at a
+// time — there is no invariant spanning two objects.
 func (l *Log) noteAbsorb(rec *Record, sr streamRec) {
 	if rec.Type != RecOperation {
 		return
 	}
 	o := rec.Op
 	for _, x := range o.ReadSet {
-		l.clearCand(x)
+		l.observe(x, sr.lsn)
 	}
 	for _, x := range o.Deletes {
-		l.clearCand(x)
+		l.observe(x, sr.lsn)
 	}
 	if sr.obj != "" {
-		sh := l.absorbShardFor(sr.obj)
-		sh.mu.Lock()
-		if prev, ok := sh.cands[sr.obj]; ok {
-			sh.absorbed[prev.lsn] = absorbedPair{obj: sr.obj, payload: prev.payload, by: sr.lsn}
-		}
-		sh.cands[sr.obj] = candInfo{lsn: sr.lsn, payload: int64(len(sr.frame) - frameOverhead)}
-		sh.mu.Unlock()
+		l.noteCandidate(sr)
 		return
 	}
 	for _, x := range o.WriteSet {
-		l.clearCand(x)
+		l.observe(x, sr.lsn)
 	}
 }
 
@@ -322,6 +405,7 @@ func (l *Log) mergeThrough(target op.SI) {
 		s.recs = s.recs[counts[i]:]
 	}
 	l.shipped = l.shipped[nShip:]
+	l.pruneObservers(target)
 	if merged > 0 {
 		l.stats.Merges++
 		if l.obs.mergeNs.Enabled() {
@@ -330,6 +414,24 @@ func (l *Log) mergeThrough(target op.SI) {
 		}
 	}
 	l.unlockAllStreams(ss)
+}
+
+// pruneObservers drops per-object observer horizons at or below target:
+// every record covered by this merge is durable (or staged), so no future
+// elision interval can start below it and the entries can never matter
+// again.  Caller holds l.mu and every stream mutex, so no index update runs
+// concurrently.
+func (l *Log) pruneObservers(target op.SI) {
+	for i := range l.absorbIdx {
+		sh := &l.absorbIdx[i]
+		sh.mu.Lock()
+		for obj, lsn := range sh.maxObs {
+			if lsn <= target {
+				delete(sh.maxObs, obj)
+			}
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // mergeRecord appends one record — or, when its absorber is covered by the

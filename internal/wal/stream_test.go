@@ -102,6 +102,16 @@ func TestStreamConcurrentAppendsStayDense(t *testing.T) {
 	}
 	l.SetStreams(4, true)
 	const goroutines, perG = 8, 200
+	// written records each append's (key, value) by assigned LSN, so the
+	// durable log can be checked against true LSN order — not just density:
+	// replay must end at the value of each key's highest-LSN write, and that
+	// write must never be the one tombstoned (the inverted-absorption race
+	// elided the later of two concurrent writes).
+	var mu sync.Mutex
+	written := make(map[op.SI]struct {
+		key op.ObjectID
+		val []byte
+	})
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -116,10 +126,18 @@ func TestStreamConcurrentAppendsStayDense(t *testing.T) {
 				} else {
 					key = op.ObjectID(fmt.Sprintf("g%d", g))
 				}
-				if _, err := l.AppendOp(op.NewPhysicalWrite(key, []byte{byte(i)})); err != nil {
+				val := []byte{byte(g), byte(i)}
+				lsn, err := l.AppendOp(op.NewPhysicalWrite(key, val))
+				if err != nil {
 					t.Errorf("append: %v", err)
 					return
 				}
+				mu.Lock()
+				written[lsn] = struct {
+					key op.ObjectID
+					val []byte
+				}{key, val}
+				mu.Unlock()
 			}
 		}(g)
 	}
@@ -141,6 +159,35 @@ func TestStreamConcurrentAppendsStayDense(t *testing.T) {
 	for i, rec := range recs {
 		if rec.LSN != op.SI(i+1) {
 			t.Fatalf("record %d has LSN %d: merged stream is not dense", i, rec.LSN)
+		}
+	}
+	// Per-key oracle: the highest-LSN write to each key.
+	lastWrite := make(map[op.ObjectID]op.SI)
+	for lsn, w := range written {
+		if lsn > lastWrite[w.key] {
+			lastWrite[w.key] = lsn
+		}
+	}
+	state := make(map[op.ObjectID][]byte)
+	for _, rec := range recs {
+		switch rec.Type {
+		case RecOperation:
+			for _, x := range rec.Op.WriteSet {
+				state[x] = rec.Op.Values[x]
+			}
+		case RecAbsorbed:
+			if lastWrite[rec.Absorbed.Object] == rec.LSN {
+				t.Errorf("LSN %d, the last write to %q, was tombstoned: absorption inverted LSN order",
+					rec.LSN, rec.Absorbed.Object)
+			}
+		default:
+			t.Errorf("unexpected record type %s at LSN %d", rec.Type, rec.LSN)
+		}
+	}
+	for key, lsn := range lastWrite {
+		if want := written[lsn].val; !op.Equal(state[key], want) {
+			t.Errorf("replayed %q = %v, want %v (value of its highest-LSN write, LSN %d)",
+				key, state[key], want, lsn)
 		}
 	}
 }
@@ -318,6 +365,230 @@ func TestReadPinPreventsAbsorption(t *testing.T) {
 	}
 	if l.Stats().Absorbed != 0 {
 		t.Errorf("Stats.Absorbed = %d, want 0", l.Stats().Absorbed)
+	}
+}
+
+// rawAppend claims the next LSN and buffers rec on stream idx WITHOUT
+// updating the absorption index — the two halves of Append split apart so
+// tests can deterministically replay the cross-stream interleavings the
+// scheduler produces: LSN claims are globally ordered, but each record's
+// index update runs under its own stream mutex and can reach a shard out of
+// LSN order.  Callers follow up with l.noteAbsorb in the order under test.
+func rawAppend(t *testing.T, l *Log, idx int, rec *Record) streamRec {
+	t.Helper()
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	set := l.lanes.Load()
+	s := set.streams[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lsn := op.SI(l.nextLSN.Add(1) - 1)
+	rec.LSN = lsn
+	if rec.Op != nil {
+		rec.Op.LSN = lsn
+	}
+	var obj op.ObjectID
+	if set.absorb {
+		obj, _ = absorbTarget(rec)
+	}
+	return s.append(rec, lsn, obj)
+}
+
+func TestAbsorptionInvertedIndexOrder(t *testing.T) {
+	// Regression for the cross-stream absorption race: two concurrent blind
+	// writes to X land on different streams, and the higher-LSN write's index
+	// update reaches the shard first.  The lower-LSN write must then be the
+	// absorbed one; the buggy index absorbed whichever update arrived first,
+	// tombstoning the LATER write so replay regressed X to the older value.
+	l, err := New(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetStreams(2, true)
+	recOld := NewOpRecord(op.NewPhysicalWrite("X", []byte("old")))
+	srOld := rawAppend(t, l, 0, recOld) // LSN 1
+	recNew := NewOpRecord(op.NewPhysicalWrite("X", []byte("new")))
+	srNew := rawAppend(t, l, 1, recNew) // LSN 2
+	l.noteAbsorb(recNew, srNew)         // index updates arrive inverted
+	l.noteAbsorb(recOld, srOld)
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := l.Scan(0)
+	recs, err := sc.All()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("scan: %d records, %v", len(recs), err)
+	}
+	if recs[1].Type != RecOperation || !op.Equal(recs[1].Op.Values["X"], []byte("new")) {
+		t.Fatalf("highest-LSN write did not survive in full: %+v", recs[1])
+	}
+	// The absorption itself must still happen — just with the right victim.
+	if recs[0].Type != RecAbsorbed || recs[0].Absorbed.Object != "X" {
+		t.Errorf("superseded lower-LSN write = %+v, want absorbed tombstone", recs[0])
+	}
+	if st := l.Stats(); st.Absorbed != 1 {
+		t.Errorf("Stats.Absorbed = %d, want 1", st.Absorbed)
+	}
+}
+
+func TestReadPinSurvivesIndexOrderInversion(t *testing.T) {
+	// Regression for the observer-ordering race: a reader claims LSN 2 and
+	// its index update reaches the shard BEFORE the LSN-1 writer registers
+	// its candidate.  Without the per-object observer horizon the candidate
+	// survived the reader, a later write absorbed record 1, and replaying
+	// the reader observed the wrong value of X.
+	l, err := New(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetStreams(2, true)
+	recW := NewOpRecord(op.NewPhysicalWrite("X", []byte("v1")))
+	srW := rawAppend(t, l, 0, recW) // LSN 1
+	recR := NewOpRecord(op.NewLogical(op.FuncCopy, []byte("Y"),
+		[]op.ObjectID{"X"}, []op.ObjectID{"Y"}))
+	srR := rawAppend(t, l, 1, recR) // LSN 2 reads X
+	l.noteAbsorb(recR, srR)         // reader's update lands first
+	l.noteAbsorb(recW, srW)
+	mustAppend(t, l, NewOpRecord(op.NewPhysicalWrite("X", []byte("v2")))) // LSN 3
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := l.Scan(0)
+	recs, err := sc.All()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("scan: %d records, %v", len(recs), err)
+	}
+	if recs[0].Type != RecOperation || !op.Equal(recs[0].Op.Values["X"], []byte("v1")) {
+		t.Fatalf("read-pinned write did not survive in full: %+v", recs[0])
+	}
+	if st := l.Stats(); st.Absorbed != 0 {
+		t.Errorf("Stats.Absorbed = %d, want 0", st.Absorbed)
+	}
+}
+
+func TestLateObserverCancelsRecordedAbsorption(t *testing.T) {
+	// The mirror-image observer race: the absorption of record 1 by record 3
+	// is already recorded in the index when the intervening reader's (LSN 2)
+	// update finally reaches the shard.  The reader must cancel the recorded
+	// pair, or replaying its logical op would observe v2 instead of v1.
+	l, err := New(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetStreams(2, true)
+	mustAppend(t, l, NewOpRecord(op.NewPhysicalWrite("X", []byte("v1")))) // LSN 1, candidate
+	recR := NewOpRecord(op.NewLogical(op.FuncCopy, []byte("Y"),
+		[]op.ObjectID{"X"}, []op.ObjectID{"Y"}))
+	srR := rawAppend(t, l, 1, recR)                                       // LSN 2 reads X; update delayed
+	mustAppend(t, l, NewOpRecord(op.NewPhysicalWrite("X", []byte("v2")))) // LSN 3 absorbs 1
+	l.noteAbsorb(recR, srR)                                               // late observer
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := l.Scan(0)
+	recs, err := sc.All()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("scan: %d records, %v", len(recs), err)
+	}
+	if recs[0].Type != RecOperation || !op.Equal(recs[0].Op.Values["X"], []byte("v1")) {
+		t.Fatalf("observed write was elided despite the late read pin: %+v", recs[0])
+	}
+	if st := l.Stats(); st.Absorbed != 0 {
+		t.Errorf("Stats.Absorbed = %d, want 0", st.Absorbed)
+	}
+}
+
+func TestStreamConcurrentReadersWritersReplayConsistent(t *testing.T) {
+	// Race stress for the observer horizon: concurrent blind writers on X and
+	// logical readers of X.  Replaying the durable log, every reader must
+	// observe exactly the value of the highest-LSN write below it — i.e. no
+	// record a reader depends on was elided — and X must end at the value of
+	// its overall highest-LSN write.
+	l, err := New(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetStreams(4, true)
+	const writers, readers, perG = 4, 4, 100
+	var mu sync.Mutex
+	writes := make(map[op.SI][]byte)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				val := []byte{byte(g), byte(i)}
+				lsn, err := l.AppendOp(op.NewPhysicalWrite("X", val))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				mu.Lock()
+				writes[lsn] = val
+				mu.Unlock()
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := []byte(fmt.Sprintf("Y%d", g))
+			for i := 0; i < perG; i++ {
+				o := op.NewLogical(op.FuncCopy, dst, []op.ObjectID{"X"}, []op.ObjectID{op.ObjectID(dst)})
+				if _, err := l.AppendOp(o); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := l.Scan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sc.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (writers + readers) * perG; len(recs) != want {
+		t.Fatalf("durable records = %d, want %d", len(recs), want)
+	}
+	// wantAt returns the value a record at lsn must observe for X: that of
+	// the highest write LSN strictly below it.
+	wantAt := func(lsn op.SI) []byte {
+		var best op.SI
+		for w := range writes {
+			if w < lsn && w > best {
+				best = w
+			}
+		}
+		return writes[best]
+	}
+	var cur []byte
+	for _, rec := range recs {
+		switch {
+		case rec.Type == RecAbsorbed:
+			// elided write: no state change
+		case rec.Op.Kind == op.KindPhysicalWrite:
+			cur = rec.Op.Values["X"]
+		case rec.Op.Kind == op.KindLogical:
+			if want := wantAt(rec.LSN); !op.Equal(cur, want) {
+				t.Fatalf("reader at LSN %d observes X=%v, want %v: an observed write was elided",
+					rec.LSN, cur, want)
+			}
+		default:
+			t.Fatalf("unexpected record %+v", rec)
+		}
+	}
+	if want := wantAt(op.SI(len(recs)) + 1); !op.Equal(cur, want) {
+		t.Errorf("final X = %v, want %v (highest-LSN write)", cur, want)
 	}
 }
 
