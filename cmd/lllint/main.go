@@ -2,15 +2,20 @@
 // the analyzers in internal/lint, which mechanically enforce the
 // recovery-critical invariants documented in DESIGN.md (deterministic redo
 // replay, the engine/cache/stable/wal lock order, the force-error
-// discipline, atomic-access consistency, log-record immutability, and the
-// obs span discipline — every Lane.Begin span must be endable).
+// discipline, atomic-access consistency, log-record immutability, the obs
+// span discipline, and the whole-program protocol checks: write-ahead
+// ordering, arena/record escape, and critical-section closure).
 //
 // Usage:
 //
-//	go run ./cmd/lllint [-list] [-only name[,name]] [packages]
+//	go run ./cmd/lllint [-list] [-only name[,name]] [-json] [-summary-cache file] [packages]
 //
-// With no packages it lints ./...; any finding makes it exit 1.  Intentional
-// findings are silenced in source with
+// With no packages it lints ./...; any finding makes it exit 1.  -json
+// emits machine-readable findings (file/line/col/analyzer/message), one
+// array on stdout.  -summary-cache persists the interprocedural function
+// summaries keyed on a hash of sources and dependency export data, so
+// repeated runs over an unchanged tree skip the fixed-point resolution.
+// Intentional findings are silenced in source with
 //
 //	//lint:ignore <analyzer> <reason>
 //
@@ -18,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,13 +32,27 @@ import (
 	"logicallog/internal/lint"
 )
 
+// jsonDiagnostic is the machine-readable finding shape (-json); the CI
+// problem matcher (.github/lllint-problem-matcher.json) consumes the plain
+// text form instead.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		list = flag.Bool("list", false, "print the analyzer suite and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "print the analyzer suite and exit")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array instead of text")
+		sumCache = flag.String("summary-cache", "", "file caching interprocedural summaries between runs")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: lllint [-list] [-only name[,name]] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: lllint [-list] [-only name[,name]] [-json] [-summary-cache file] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,13 +87,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lllint:", err)
 		os.Exit(2)
 	}
-	diags, err := lint.Lint(pkgs, analyzers)
+
+	prog := lint.BuildProgram(pkgs)
+	cacheKey, cacheHit := "", false
+	if *sumCache != "" {
+		cacheKey, err = lint.CacheKey(pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lllint: summary cache disabled:", err)
+		} else if sums, ok := lint.LoadSummaryCache(*sumCache, cacheKey); ok {
+			cacheHit = prog.InstallSummaries(sums)
+		}
+	}
+
+	diags, err := lint.LintWithProgram(pkgs, analyzers, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lllint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *sumCache != "" && cacheKey != "" && !cacheHit {
+		if err := lint.SaveSummaryCache(*sumCache, cacheKey, prog.Summaries()); err != nil {
+			fmt.Fprintln(os.Stderr, "lllint: writing summary cache:", err)
+		}
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "lllint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lllint: %d finding(s)\n", len(diags))

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestInterprocSummaries builds the Program over the synthetic two-package
+// fixture module and asserts the call graph and every summary fact the
+// analyzers depend on: transitive Forces, StoresParam/MutatesParam/
+// ReturnsParam taint bits, and the net lock effects of an acquire/release
+// helper pair — all resolved across the package boundary by FuncKey.
+func TestInterprocSummaries(t *testing.T) {
+	pkgs, err := LoadFixtureTree(filepath.Join("testdata", "src", "interproc"), fixturePatterns...)
+	if err != nil {
+		t.Fatalf("loading interproc fixture: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (lib, app)", len(pkgs))
+	}
+	prog := BuildProgram(pkgs)
+	prog.Resolve()
+
+	const (
+		forceIt = FuncKey("fixture/interproc/lib.ForceIt")
+		keep    = FuncKey("fixture/interproc/lib.(Sink).Keep")
+		scrub   = FuncKey("fixture/interproc/lib.Scrub")
+		head    = FuncKey("fixture/interproc/lib.Head")
+		acquire = FuncKey("fixture/interproc/lib.(Guard).Acquire")
+		release = FuncKey("fixture/interproc/lib.(Guard).Release")
+		chain   = FuncKey("fixture/interproc/app.Chain")
+		keepVia = FuncKey("fixture/interproc/app.KeepVia")
+		guarded = FuncKey("fixture/interproc/app.Guarded")
+	)
+	sum := func(k FuncKey) Summary {
+		t.Helper()
+		fi := prog.Funcs[k]
+		if fi == nil {
+			t.Fatalf("function %s not indexed; have %d functions", k, len(prog.Funcs))
+		}
+		return fi.Sum
+	}
+
+	// Forces: direct in ForceIt, transitive and cross-package in Chain.
+	if !sum(forceIt).Forces {
+		t.Error("lib.ForceIt should summarize as Forces (direct call)")
+	}
+	if !sum(chain).Forces {
+		t.Error("app.Chain should summarize as Forces (transitively through lib.ForceIt)")
+	}
+	if sum(head).Forces {
+		t.Error("lib.Head must not summarize as Forces")
+	}
+
+	// Taint bits.  Indexing: receiver is 0 when present, value params follow.
+	if !summaryBit(sum(keep).StoresParam, 1) {
+		t.Errorf("lib.Keep should store its p parameter; StoresParam=%v", sum(keep).StoresParam)
+	}
+	if !summaryBit(sum(scrub).MutatesParam, 0) {
+		t.Errorf("lib.Scrub should mutate its p parameter; MutatesParam=%v", sum(scrub).MutatesParam)
+	}
+	if summaryBit(sum(scrub).StoresParam, 0) {
+		t.Error("lib.Scrub must not summarize as storing its parameter")
+	}
+	if !summaryBit(sum(head).ReturnsParam, 0) {
+		t.Errorf("lib.Head should return an alias of p; ReturnsParam=%v", sum(head).ReturnsParam)
+	}
+	// KeepVia needs both callee summaries composed: Head's ReturnsParam
+	// carries the taint into Keep's StoresParam, across the package boundary.
+	if !summaryBit(sum(keepVia).StoresParam, 1) {
+		t.Errorf("app.KeepVia should store its p parameter via Head+Keep; StoresParam=%v",
+			sum(keepVia).StoresParam)
+	}
+
+	// Lock helpers.
+	if !sum(acquire).NetAcquires["Guard.mu"] {
+		t.Errorf("lib.Acquire should net-acquire Guard.mu; got %v", sum(acquire).NetAcquires)
+	}
+	if !sum(release).NetReleases["Guard.mu"] {
+		t.Errorf("lib.Release should net-release Guard.mu; got %v", sum(release).NetReleases)
+	}
+	if !prog.HasReleaseHelper("Guard.mu") {
+		t.Error("HasReleaseHelper(Guard.mu) should see lib.Release")
+	}
+	if len(sum(guarded).NetAcquires) != 0 || len(sum(guarded).NetReleases) != 0 {
+		t.Errorf("app.Guarded balances the pair; got acquires=%v releases=%v",
+			sum(guarded).NetAcquires, sum(guarded).NetReleases)
+	}
+
+	// Call graph: the caller edge resolves across packages to the same key.
+	foundChain := false
+	for _, fi := range prog.CallersOf[forceIt] {
+		if fi.Key == chain {
+			foundChain = true
+		}
+	}
+	if !foundChain {
+		t.Errorf("CallersOf[lib.ForceIt] should include app.Chain; got %d callers",
+			len(prog.CallersOf[forceIt]))
+	}
+}

@@ -63,7 +63,21 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	diags []Diagnostic
+	pkgRef *Package
+	prog   *Program
+	diags  []Diagnostic
+}
+
+// pkg returns the loaded package under analysis.
+func (p *Pass) pkg() *Package { return p.pkgRef }
+
+// program returns the module-wide interprocedural view shared by every pass
+// of one Lint run (built over just this package when run standalone).
+func (p *Pass) program() *Program {
+	if p.prog == nil {
+		p.prog = BuildProgram([]*Package{p.pkgRef})
+	}
+	return p.prog
 }
 
 // Reportf records a finding at pos.
@@ -85,6 +99,9 @@ func Analyzers() []*Analyzer {
 		LogRecPurity,
 		SpanEnd,
 		StreamPurity,
+		WalOrder,
+		BufEscape,
+		CritSection,
 	}
 }
 
@@ -100,23 +117,33 @@ func AnalyzerByName(name string) *Analyzer {
 
 // Lint runs every analyzer that matches each package, applies suppression
 // directives, and returns the surviving findings sorted by position.
-// Malformed directives are reported as findings of the pseudo-analyzer
+// Malformed directives — and stale ones, whose every named analyzer ran yet
+// suppressed nothing — are reported as findings of the pseudo-analyzer
 // "directive".
 func Lint(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return LintWithProgram(pkgs, analyzers, BuildProgram(pkgs))
+}
+
+// LintWithProgram is Lint with a caller-supplied interprocedural Program
+// (cmd/lllint passes one preloaded from the summary cache).
+func LintWithProgram(pkgs []*Package, analyzers []*Analyzer, prog *Program) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		sup, bad := collectDirectives(pkg.Fset, pkg.Files)
 		out = append(out, bad...)
+		ran := map[string]bool{}
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.ImportPath) {
 				continue
 			}
-			diags, err := runOne(a, pkg)
+			ran[a.Name] = true
+			diags, err := runOne(a, pkg, prog)
 			if err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 			out = append(out, sup.filter(diags)...)
 		}
+		out = append(out, sup.stale(ran)...)
 	}
 	sortDiagnostics(out)
 	return out, nil
@@ -126,23 +153,38 @@ func Lint(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // predicate (fixture tests exercise analyzers on testdata packages whose
 // import paths would never match).  Suppression directives still apply.
 func RunUnfiltered(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	sup, bad := collectDirectives(pkg.Fset, pkg.Files)
-	diags, err := runOne(a, pkg)
-	if err != nil {
-		return nil, err
+	return RunUnfilteredAll(a, []*Package{pkg})
+}
+
+// RunUnfilteredAll runs one analyzer across a set of packages sharing one
+// interprocedural Program — multi-package fixture trees use this so
+// cross-package facts resolve.
+func RunUnfilteredAll(a *Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	prog := BuildProgram(pkgs)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := collectDirectives(pkg.Fset, pkg.Files)
+		out = append(out, bad...)
+		diags, err := runOne(a, pkg, prog)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sup.filter(diags)...)
+		out = append(out, sup.stale(map[string]bool{a.Name: true})...)
 	}
-	out := append(bad, sup.filter(diags)...)
 	sortDiagnostics(out)
 	return out, nil
 }
 
-func runOne(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+func runOne(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Pkg,
 		Info:     pkg.Info,
+		pkgRef:   pkg,
+		prog:     prog,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, err
@@ -172,15 +214,26 @@ func sortDiagnostics(ds []Diagnostic) {
 
 const directivePrefix = "//lint:ignore"
 
-// suppressions maps file -> line -> set of analyzer names suppressed there.
-type suppressions map[string]map[int]map[string]bool
+// directive is one //lint:ignore comment, tracked so unused ("stale")
+// directives can themselves be reported.
+type directive struct {
+	pos   token.Position
+	names []string
+	used  map[string]bool
+}
+
+// suppressions indexes directives by file, line, and suppressed analyzer.
+type suppressions struct {
+	byLine map[string]map[int]map[string]*directive
+	all    []*directive
+}
 
 // collectDirectives scans the files' comments for //lint:ignore directives.
 // A well-formed directive suppresses the named analyzers on its own line and
 // on the line directly below (covering both trailing and leading placement).
 // Malformed directives come back as diagnostics.
-func collectDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
-	sup := make(suppressions)
+func collectDirectives(fset *token.FileSet, files []*ast.File) (*suppressions, []Diagnostic) {
+	sup := &suppressions{byLine: make(map[string]map[int]map[string]*directive)}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -200,19 +253,24 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []
 					continue
 				}
 				names := strings.Split(fields[0], ",")
-				byLine := sup[pos.Filename]
+				for i, n := range names {
+					names[i] = strings.TrimSpace(n)
+				}
+				d := &directive{pos: pos, names: names, used: make(map[string]bool)}
+				sup.all = append(sup.all, d)
+				byLine := sup.byLine[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					sup[pos.Filename] = byLine
+					byLine = make(map[int]map[string]*directive)
+					sup.byLine[pos.Filename] = byLine
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					set := byLine[line]
 					if set == nil {
-						set = make(map[string]bool)
+						set = make(map[string]*directive)
 						byLine[line] = set
 					}
 					for _, n := range names {
-						set[strings.TrimSpace(n)] = true
+						set[n] = d
 					}
 				}
 			}
@@ -221,13 +279,43 @@ func collectDirectives(fset *token.FileSet, files []*ast.File) (suppressions, []
 	return sup, bad
 }
 
-func (s suppressions) filter(diags []Diagnostic) []Diagnostic {
+func (s *suppressions) filter(diags []Diagnostic) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range diags {
-		if s[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+		if dir := s.byLine[d.Pos.Filename][d.Pos.Line][d.Analyzer]; dir != nil {
+			dir.used[d.Analyzer] = true
 			continue
 		}
 		out = append(out, d)
+	}
+	return out
+}
+
+// stale reports directives whose every named analyzer ran on the package yet
+// none suppressed a finding — dead weight that hides future regressions.
+// Directives naming an analyzer that did not run are not judged.
+func (s *suppressions) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		judgeable, usedAny := true, false
+		for _, n := range d.names {
+			if !ran[n] {
+				judgeable = false
+				break
+			}
+			if d.used[n] {
+				usedAny = true
+			}
+		}
+		if !judgeable || usedAny {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos: d.pos,
+			Message: fmt.Sprintf("stale //lint:ignore %s: it suppresses nothing here (delete the directive)",
+				strings.Join(d.names, ",")),
+			Analyzer: "directive",
+		})
 	}
 	return out
 }

@@ -71,6 +71,7 @@ func classOf(typeName, fieldName string) *lockClass {
 // lockEvent is one mutex operation in source order within a function.
 type lockEvent struct {
 	recv     string // receiver expression, e.g. "e.mu" or "sh.mu"
+	key      string // canonical lock key ("Type.field"), for summary lookups
 	method   string // Lock, RLock, Unlock, RUnlock
 	pos      ast.Node
 	class    *lockClass // nil when the mutex is not a ranked class
@@ -117,8 +118,10 @@ func collectLockEvents(p *Pass, body *ast.BlockStmt) []lockEvent {
 		if !isSyncMutex(p.Info.TypeOf(sel.X)) {
 			return
 		}
+		key, _ := lockKeyFor(p.Info, p.Pkg, sel.X)
 		ev := lockEvent{
 			recv:     types.ExprString(sel.X),
+			key:      key,
 			method:   method,
 			pos:      call,
 			deferred: deferred,
@@ -146,8 +149,16 @@ func collectLockEvents(p *Pass, body *ast.BlockStmt) []lockEvent {
 }
 
 // checkPairing reports Lock/RLock calls with no matching Unlock/RUnlock on
-// the same receiver expression anywhere in the function.
+// the same receiver expression anywhere in the function.  A function the
+// interprocedural layer classifies as an acquire helper for that lock
+// (lockAllStreams: every exit deliberately holds the lane locks) is exempt —
+// the critsection analyzer enforces the matching release at its call sites.
 func checkPairing(p *Pass, fd *ast.FuncDecl, events []lockEvent) {
+	var sum Summary
+	p.program().Resolve()
+	if fi := p.program().funcInfoForDecl(p.pkg(), fd); fi != nil {
+		sum = fi.Sum
+	}
 	releasedBy := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
 	for _, acq := range events {
 		rel, isAcquire := releasedBy[acq.method]
@@ -160,6 +171,10 @@ func checkPairing(p *Pass, fd *ast.FuncDecl, events []lockEvent) {
 				paired = true
 				break
 			}
+		}
+		if !paired && sum.NetAcquires[acq.key] && p.program().HasReleaseHelper(acq.key) {
+			continue // acquire helper with a matching release helper: the
+			// critsection analyzer enforces the release at call sites
 		}
 		if !paired {
 			p.Reportf(acq.pos.Pos(),

@@ -1,0 +1,106 @@
+// The summary cache: resolved interprocedural summaries persisted between
+// lllint runs, keyed on a hash of everything that can change them — the
+// target packages' source files and the export data of every dependency the
+// load consulted.  A hit installs the summaries wholesale and skips the
+// fixed-point resolution; any source or dependency change flips the key and
+// the cache is silently recomputed.  The cache is an optimization only:
+// installing it never changes what the analyzers report.
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// summaryCacheVersion invalidates old cache files when the Summary shape or
+// the summarization rules change.
+const summaryCacheVersion = 1
+
+// summaryCacheFile is the on-disk format.
+type summaryCacheFile struct {
+	Version   int                 `json:"version"`
+	Key       string              `json:"key"`
+	Summaries map[FuncKey]Summary `json:"summaries"`
+}
+
+// CacheKey hashes the load: every target source file and every export-data
+// file, by path and content.  Packages from one Load share DepExports, so
+// the key covers the whole program the summaries were resolved against.
+func CacheKey(pkgs []*Package) (string, error) {
+	seen := map[string]bool{}
+	var files []string
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			if name != "" && !seen[name] {
+				seen[name] = true
+				files = append(files, name)
+			}
+		}
+		for _, e := range p.DepExports {
+			if !seen[e] {
+				seen[e] = true
+				files = append(files, e)
+			}
+		}
+	}
+	sort.Strings(files)
+
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d\n", summaryCacheVersion)
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return "", fmt.Errorf("lint: hashing %s: %w", name, err)
+		}
+		fmt.Fprintf(h, "%s\x00", name)
+		if _, err := io.Copy(h, f); err != nil {
+			f.Close()
+			return "", fmt.Errorf("lint: hashing %s: %w", name, err)
+		}
+		f.Close()
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// LoadSummaryCache reads path and returns the cached summaries when the
+// stored key matches.  Any read, decode, version, or key mismatch is a
+// plain miss: the caller recomputes and overwrites.
+func LoadSummaryCache(path, key string) (map[FuncKey]Summary, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var f summaryCacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, false
+	}
+	if f.Version != summaryCacheVersion || f.Key != key || f.Summaries == nil {
+		return nil, false
+	}
+	return f.Summaries, true
+}
+
+// SaveSummaryCache writes the resolved summaries under key, atomically via
+// a rename so a crashed run never leaves a torn cache.
+func SaveSummaryCache(path, key string, sums map[FuncKey]Summary) error {
+	data, err := json.Marshal(summaryCacheFile{
+		Version:   summaryCacheVersion,
+		Key:       key,
+		Summaries: sums,
+	})
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

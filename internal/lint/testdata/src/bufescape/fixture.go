@@ -1,0 +1,72 @@
+// Package bufescape models decoded-record immutability: Record stands in
+// for wal.Record (matched by name under the fixture/ path), and helpers
+// with mutating summaries model the aliasing paths the syntactic
+// logrecpurity analyzer cannot see.
+package bufescape
+
+import "fixture/bufescape/helper"
+
+// Record stands in for wal.Record: a decoded snapshot whose interior
+// memory aliases the scanner's buffers.
+type Record struct {
+	LSN uint64
+	Op  []byte
+}
+
+// Clone is the sanctioned copy boundary: its result is fresh memory.
+func (r Record) Clone() Record {
+	c := r
+	c.Op = append([]byte(nil), r.Op...)
+	return c
+}
+
+// scrub zeroes its argument in place, so its summary says MutatesParam.
+func scrub(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// checksum only reads; no summary bits.
+func checksum(p []byte) int {
+	n := 0
+	for _, b := range p {
+		n += int(b)
+	}
+	return n
+}
+
+// mutateDirect hands record memory straight to a mutating helper — no
+// direct write appears here, so only the callee summary sees it.
+func mutateDirect(r Record) {
+	scrub(r.Op) // want "mutates memory reached through a decoded wal.Record"
+}
+
+// mutateViaAlias launders the interior through a local first; a syntactic
+// rec.X-write check has nothing to anchor on.
+func mutateViaAlias(r Record) {
+	tmp := r.Op
+	scrub(tmp) // want "mutates memory reached through a decoded wal.Record"
+}
+
+// mutateCrossPackage reaches the mutation through another package's
+// helper, exercising cross-package summary propagation.
+func mutateCrossPackage(r Record) {
+	helper.Scrub(r.Op) // want "mutates memory reached through a decoded wal.Record"
+}
+
+// readOnly is fine: checksum never writes.
+func readOnly(r Record) int {
+	return checksum(r.Op)
+}
+
+// mutateClone is fine: Clone copies, so the write hits fresh memory.
+func mutateClone(r Record) {
+	scrub(r.Clone().Op)
+}
+
+// mutateSuppressed shows the documented escape hatch.
+func mutateSuppressed(r Record) {
+	//lint:ignore bufescape fixture: this record is a locally built scratch value, not a decoded snapshot
+	scrub(r.Op)
+}

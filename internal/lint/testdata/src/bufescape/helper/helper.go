@@ -1,0 +1,11 @@
+// Package helper provides byte-slice utilities whose summaries
+// (MutatesParam) the main bufescape fixture consumes across the package
+// boundary.
+package helper
+
+// Scrub zeroes p in place.
+func Scrub(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}

@@ -1,0 +1,105 @@
+// Package critsection models lock-region closure: early-return leaks,
+// panics without a deferred release, and the acquire/release helper pair
+// that only the interprocedural summaries can see.
+package critsection
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// balanced closes its region with defer: every exit is covered.
+func (b *box) balanced() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// earlyReturnLeak releases on the fallthrough path but not the early one.
+func (b *box) earlyReturnLeak(skip bool) int {
+	b.mu.Lock()
+	if skip {
+		return 0 // want "box.mu acquired in earlyReturnLeak is not released on this path"
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// panicNoDefer panics with the lock held and nothing deferred.
+func (b *box) panicNoDefer() {
+	b.mu.Lock()
+	if b.n < 0 {
+		panic("negative") // want "panic while holding box.mu with no deferred release"
+	}
+	b.mu.Unlock()
+}
+
+// panicDeferred is covered: the deferred unlock runs during the panic.
+func (b *box) panicDeferred() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n < 0 {
+		panic("negative")
+	}
+}
+
+// relockWindow is the *Locked convention: the caller holds b.mu; releasing
+// and re-acquiring around slow work is balanced from the caller's view.
+func (b *box) relockWindow() {
+	b.mu.Unlock()
+	b.n++
+	b.mu.Lock()
+}
+
+type lane struct {
+	mu sync.Mutex
+}
+
+type set struct {
+	lanes []lane
+}
+
+// lockAll is the acquire helper: every exit holds every lane lock, so its
+// summary moves the release obligation to its call sites.
+func (s *set) lockAll() {
+	for i := range s.lanes {
+		s.lanes[i].mu.Lock()
+	}
+}
+
+// unlockAll is the matching release helper.
+func (s *set) unlockAll() {
+	for i := range s.lanes {
+		s.lanes[i].mu.Unlock()
+	}
+}
+
+// sweepBalanced closes the helper-acquired region on every path.
+func (s *set) sweepBalanced() {
+	s.lockAll()
+	s.unlockAll()
+}
+
+// sweepLeak misses the release helper on the early path.  No Lock call
+// appears in this function at all — only the helper summaries make the
+// leak visible.
+func (s *set) sweepLeak(skip bool) {
+	s.lockAll()
+	if skip {
+		return // want "lane.mu acquired in sweepLeak is not released on this path"
+	}
+	s.unlockAll()
+}
+
+// leakJustified shows the documented escape hatch.
+func (b *box) leakJustified(skip bool) {
+	b.mu.Lock()
+	if skip {
+		//lint:ignore critsection fixture: lock ownership passes to a background releaser on this path
+		return
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,20 @@
+// Package app consumes lib across the package boundary so the test can
+// assert cross-package call-graph edges and transitive summaries.
+package app
+
+import "fixture/interproc/lib"
+
+// Chain forces only through lib.ForceIt.
+func Chain(l *lib.Log) error { return lib.ForceIt(l) }
+
+// KeepVia stores an alias of p through two lib calls: Head's ReturnsParam
+// carries the taint into Keep's StoresParam.
+func KeepVia(s *lib.Sink, p []byte) {
+	s.Keep(lib.Head(p))
+}
+
+// Guarded balances the helper pair.
+func Guarded(g *lib.Guard) {
+	g.Acquire()
+	g.Release()
+}

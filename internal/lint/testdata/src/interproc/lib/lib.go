@@ -1,0 +1,44 @@
+// Package lib declares one function per summary fact the interproc test
+// asserts: forcing, storing, mutating, returning an alias, and the lock
+// acquire/release helper pair.
+package lib
+
+import "sync"
+
+type Log struct{}
+
+func (l *Log) Force() error { return nil }
+
+// ForceIt forces transitively: its summary must say Forces without a
+// direct Force call in its callers.
+func ForceIt(l *Log) error { return l.Force() }
+
+type Sink struct {
+	kept [][]byte
+}
+
+// Keep retains p beyond the call: StoresParam for p.
+func (s *Sink) Keep(p []byte) {
+	s.kept = append(s.kept, p)
+}
+
+// Scrub writes through p: MutatesParam.
+func Scrub(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// Head returns an alias of p: ReturnsParam.
+func Head(p []byte) []byte {
+	return p[:1]
+}
+
+type Guard struct {
+	mu sync.Mutex
+}
+
+// Acquire and Release are the helper pair: net lock effects with no
+// balanced region inside either function.
+func (g *Guard) Acquire() { g.mu.Lock() }
+func (g *Guard) Release() { g.mu.Unlock() }

@@ -1,0 +1,29 @@
+// Package staledirective carries one live, one dead, and one unjudged
+// //lint:ignore so the stale-directive report can be exercised: the dead
+// one names an analyzer that runs here yet suppresses nothing.
+package staledirective
+
+type Log struct{}
+
+func (l *Log) Force() error { return nil }
+
+// forceLoose: the directive below suppresses a real forcecheck finding, so
+// it is used, not stale.
+func forceLoose(l *Log) {
+	//lint:ignore forcecheck fixture: the force error is observed out of band
+	l.Force()
+}
+
+// forceTight: nothing beneath this directive trips forcecheck, so the
+// directive itself is reported.
+func forceTight(l *Log) error {
+	//lint:ignore forcecheck fixture: nothing here needs ignoring // want "stale //lint:ignore forcecheck"
+	return l.Force()
+}
+
+// idle: lockorder does not run in this fixture, so its directive is not
+// judged and must not be reported stale.
+func idle(l *Log) error {
+	//lint:ignore lockorder fixture: this analyzer does not run here
+	return l.Force()
+}

@@ -1,0 +1,18 @@
+// Package sub is the cross-package half of the walorder fixture: its
+// exported MirrorInstall installs without forcing, so the write-ahead
+// obligation crosses the package boundary to every caller.
+package sub
+
+type Log struct{}
+
+func (l *Log) Force() error { return nil }
+
+type Store struct{}
+
+func (s *Store) WriteBatch(recs []int) error { return nil }
+
+// MirrorInstall models the standby pattern: the records must already be
+// durable when the caller hands them over.
+func MirrorInstall(s *Store, recs []int) {
+	_ = s.WriteBatch(recs)
+}

@@ -325,7 +325,6 @@ func (l *Log) noteAbsorb(rec *Record, sr streamRec) {
 func (l *Log) lockAllStreams() []*logStream {
 	ss := l.lanes.Load().streams
 	for i := range ss {
-		//lint:ignore lockorder every stream lock acquired here is released in unlockAllStreams
 		ss[i].mu.Lock()
 	}
 	return ss
