@@ -1,4 +1,4 @@
-// Command llbench runs the paper-reproduction experiments (E1–E10 and the
+// Command llbench runs the paper-reproduction experiments (E1–E13 and the
 // ablations; see DESIGN.md) and prints their tables.
 //
 // Usage:
@@ -19,6 +19,7 @@ import (
 
 	"logicallog/internal/harness"
 	"logicallog/internal/obs"
+	"logicallog/internal/workload"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	redoWorkers := flag.Int("redo-workers", 0, "parallel redo worker count for recovery-heavy experiments (0 = GOMAXPROCS, 1 = serial)")
 	logStreams := flag.Int("log-streams", 0, "per-core log append streams for every harness engine (0 = experiment default)")
 	absorb := flag.Bool("absorb", false, "absorb superseded hot writes in the volatile log window on every harness engine")
+	mixes := flag.String("mix", "", "comma-separated scenario mixes for the domain experiment E13 (default: all built-ins)")
 	jsonOut := flag.String("json", "", `write the machine-readable llbench/v1 report to this path ("-" = stdout)`)
 	validateJSON := flag.String("validate-json", "", "validate a previously written report file and exit")
 	metrics := flag.Bool("metrics", false, "print each experiment's metrics snapshot after its table")
@@ -38,6 +40,16 @@ func main() {
 	harness.DefaultRedoWorkers = *redoWorkers
 	harness.DefaultLogStreams = *logStreams
 	harness.DefaultAbsorbWrites = *absorb
+	if *mixes != "" {
+		for _, name := range strings.Split(*mixes, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := workload.ParseMix(name); err != nil {
+				fmt.Fprintf(os.Stderr, "llbench: %v\n", err)
+				os.Exit(2)
+			}
+			harness.DefaultMixes = append(harness.DefaultMixes, name)
+		}
+	}
 
 	if *validateJSON != "" {
 		f, err := os.Open(*validateJSON)

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	llrun [-steps N] [-seed S] [-wal path] [-physio] [-w] [-vsi] [-faults token]
-//	      [-standby] [-ship-batch R]
+//	llrun [-steps N] [-seed S] [-scenario mix] [-wal path] [-physio] [-w] [-vsi]
+//	      [-faults token] [-standby] [-ship-batch R]
 //	      [-trace-out trace.json] [-metrics] [-debug-addr host:port]
 //	      [-cpuprofile p] [-memprofile p] [-runtime-trace p]
 package main
@@ -26,12 +26,14 @@ import (
 	"logicallog/internal/ship"
 	"logicallog/internal/sim"
 	"logicallog/internal/wal"
+	"logicallog/internal/workload"
 	"logicallog/internal/writegraph"
 )
 
 func main() {
 	steps := flag.Int("steps", 200, "workload steps before the crash")
 	seed := flag.Int64("seed", 1, "workload seed")
+	scenario := flag.String("scenario", "", `drive the recoverable domains (B+tree + LSM) with this scenario mix instead of the flat workload: point-lookup-heavy, scan-heavy, write-burst, or a custom "lookup=40,scan=10,insert=30,update=15,delete=5" spec`)
 	walPath := flag.String("wal", "", "WAL file path (default: temp file)")
 	physio := flag.Bool("physio", false, "use the physiological baseline configuration")
 	classicW := flag.Bool("w", false, "use the classic write graph W instead of rW")
@@ -59,6 +61,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "llrun: profiles: %v\n", err)
 		}
 	}()
+
+	if *scenario != "" {
+		if _, err := workload.ParseMix(*scenario); err != nil {
+			fatal(err)
+		}
+	}
 
 	points, err := fault.ParseToken(*faults)
 	if err != nil {
@@ -103,6 +111,11 @@ func main() {
 	}
 	defer dev.Close()
 	opts.LogDevice = plan.WrapDevice(dev)
+	if *scenario != "" {
+		// The shared registry lets a -standby engine resolve the domain
+		// transforms before the first shipped record arrives.
+		opts.Registry = sim.NewDomainRegistry()
+	}
 
 	eng, err := core.New(opts)
 	if err != nil {
@@ -138,13 +151,21 @@ func main() {
 		sc.StepHook = func(int) error { return sender.PumpAll() }
 	}
 
-	fmt.Printf("running %d-step workload (seed %d, policy %v, physiological %v)...\n",
-		sc.Steps, sc.Seed, opts.Policy, opts.Physiological)
-	if err := sim.DriveWorkload(eng, sc); err != nil {
-		if !errors.Is(err, fault.ErrInjected) && !wal.IsTransient(err) {
-			fatal(err)
+	var driveErr error
+	if *scenario != "" {
+		fmt.Printf("running %d-step %s scenario over the B+tree and LSM domains (seed %d, policy %v, physiological %v)...\n",
+			*steps, *scenario, *seed, opts.Policy, opts.Physiological)
+		driveErr = sim.DriveMixWorkload(eng, *scenario, *seed, *steps, sc.StepHook)
+	} else {
+		fmt.Printf("running %d-step workload (seed %d, policy %v, physiological %v)...\n",
+			sc.Steps, sc.Seed, opts.Policy, opts.Physiological)
+		driveErr = sim.DriveWorkload(eng, sc)
+	}
+	if driveErr != nil {
+		if !errors.Is(driveErr, fault.ErrInjected) && !wal.IsTransient(driveErr) {
+			fatal(driveErr)
 		}
-		fmt.Printf("workload stopped by injected fault: %v\n", err)
+		fmt.Printf("workload stopped by injected fault: %v\n", driveErr)
 		fmt.Printf("  repro token: %s\n", plan.Token())
 	}
 	st := eng.Stats()
@@ -184,6 +205,12 @@ func main() {
 		fatal(fmt.Errorf("verification FAILED: %w", err))
 	}
 	fmt.Println("verification: recovered state matches the durable-history oracle")
+	if *scenario != "" {
+		if err := sim.VerifyMixDomains(eng); err != nil {
+			fatal(fmt.Errorf("domain verification FAILED: %w", err))
+		}
+		fmt.Println("domains: recovered B+tree and LSM reopen, pass their invariants, and scan cleanly")
+	}
 
 	if sb != nil {
 		shipHorizon := sb.Applied()
@@ -196,6 +223,12 @@ func main() {
 			fatal(fmt.Errorf("standby verification FAILED: %w", err))
 		}
 		fmt.Printf("  standby matches the primary's history through LSN %d\n", shipHorizon)
+		if *scenario != "" {
+			if err := sim.VerifyMixDomains(promoted); err != nil {
+				fatal(fmt.Errorf("standby domain verification FAILED: %w", err))
+			}
+			fmt.Println("  standby domains: B+tree and LSM reopen, pass their invariants, and scan cleanly")
+		}
 		if shipHorizon > horizon {
 			fmt.Printf("  note: the standby preserved %d LSNs the crashed primary's log lost (shipped before the fault trimmed the tail)\n",
 				shipHorizon-horizon)

@@ -5,78 +5,105 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"logicallog"
 	"logicallog/internal/btree"
 )
 
-func main() {
+func run(w io.Writer) error {
 	db, err := logicallog.Open(logicallog.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer db.Close()
 	eng := db.Engine()
 	btree.Register(eng.Registry())
 
 	tree, err := btree.New(eng, "accounts", 16)
-	must(err)
+	if err != nil {
+		return err
+	}
 
 	// Bulk-load 1000 records with 512-byte payloads, flushing and
 	// checkpointing along the way as a real system would.
 	val := make([]byte, 512)
 	const n = 1000
 	for i := 0; i < n; i++ {
-		must(tree.Insert(key(i), val))
+		if err := tree.Insert(key(i), val); err != nil {
+			return err
+		}
 		if i%100 == 99 {
-			must(db.FlushOne())
+			if err := db.FlushOne(); err != nil {
+				return err
+			}
 		}
 		if i%250 == 249 {
-			must(db.Checkpoint())
+			if err := db.Checkpoint(); err != nil {
+				return err
+			}
 		}
 	}
 	st, err := tree.Stats()
-	must(err)
+	if err != nil {
+		return err
+	}
 	dbStats := db.Stats()
-	fmt.Printf("loaded %d keys: height %d, %d pages (%d leaves)\n",
+	fmt.Fprintf(w, "loaded %d keys: height %d, %d pages (%d leaves)\n",
 		st.Keys, st.Height, st.Pages, st.LeafPages)
-	fmt.Printf("log: %d bytes appended; %d bytes were data values\n",
+	fmt.Fprintf(w, "log: %d bytes appended; %d bytes were data values\n",
 		dbStats.LogBytesAppended, dbStats.LogValueBytes)
-	fmt.Printf("(every page split was one logical record of ~100 bytes — %d pages of contents were moved without logging them)\n",
+	fmt.Fprintf(w, "(every page split was one logical record of ~100 bytes — %d pages of contents were moved without logging them)\n",
 		st.Pages-1)
 
 	// Crash mid-flight and recover.
-	must(db.Sync())
+	if err := db.Sync(); err != nil {
+		return err
+	}
 	db.Crash()
 	rep, err := db.Recover()
-	must(err)
-	fmt.Printf("recovered: scanned %d ops, redone %d, skipped %d\n",
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recovered: scanned %d ops, redone %d, skipped %d\n",
 		rep.OpsScanned, rep.Redone, rep.SkippedInstalled+rep.SkippedUnexposed)
 
 	tree2, err := btree.Open(eng, "accounts")
-	must(err)
-	must(tree2.Check())
+	if err != nil {
+		return err
+	}
+	if err := tree2.Check(); err != nil {
+		return err
+	}
 	for i := 0; i < n; i++ {
 		_, found, err := tree2.Get(key(i))
-		must(err)
+		if err != nil {
+			return err
+		}
 		if !found {
-			log.Fatalf("key %d lost in recovery", i)
+			return fmt.Errorf("key %d lost in recovery", i)
 		}
 	}
-	fmt.Println("tree verified: structure valid, all keys present")
+	fmt.Fprintln(w, "tree verified: structure valid, all keys present")
 
 	// Point operations keep working after recovery.
-	must(tree2.Insert([]byte("zzz-last"), []byte("after recovery")))
+	if err := tree2.Insert([]byte("zzz-last"), []byte("after recovery")); err != nil {
+		return err
+	}
 	v, found, err := tree2.Get([]byte("zzz-last"))
-	must(err)
-	fmt.Printf("post-recovery insert: found=%v value=%q\n", found, v)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "post-recovery insert: found=%v value=%q\n", found, v)
+	return nil
 }
 
 func key(i int) []byte { return []byte(fmt.Sprintf("acct-%06d", i)) }
 
-func must(err error) {
-	if err != nil {
+func main() {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }

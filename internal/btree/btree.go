@@ -20,14 +20,36 @@ const (
 	// FuncSplitRoot is the logical root split: reads {meta, root}, writes
 	// {meta, root, newChild, newRoot}.
 	FuncSplitRoot op.FuncID = "btree.splitroot"
+	// FuncMergeChild is the logical merge: reads {parent, left, right},
+	// writes {parent, left}.  The right page is absorbed into the left and
+	// the separator dropped from the parent; the driver deletes the orphaned
+	// right page afterwards.
+	FuncMergeChild op.FuncID = "btree.mergechild"
+	// FuncRebalance is the logical borrow: reads and writes
+	// {parent, left, right}, moving one entry between adjacent siblings and
+	// updating the parent separator.
+	FuncRebalance op.FuncID = "btree.rebalance"
+	// FuncCollapseRoot is the logical height decrease: reads {meta, root},
+	// writes {meta}, pointing the tree at the root's sole child.  The driver
+	// deletes the orphaned old root afterwards.
+	FuncCollapseRoot op.FuncID = "btree.collapseroot"
 )
 
-// Register installs the B-tree transformations on a registry.
+// Rebalance directions carried in FuncRebalance params.
+const (
+	borrowLeft  byte = 'L' // left sibling donates its last entry to right
+	borrowRight byte = 'R' // right sibling donates its first entry to left
+)
+
+// Register installs the B+tree transformations on a registry.
 func Register(reg *op.Registry) {
 	reg.Register(FuncInsertLeaf, fnInsertLeaf)
 	reg.Register(FuncDeleteLeaf, fnDeleteLeaf)
 	reg.Register(FuncSplitChild, fnSplitChild)
 	reg.Register(FuncSplitRoot, fnSplitRoot)
+	reg.Register(FuncMergeChild, fnMergeChild)
+	reg.Register(FuncRebalance, fnRebalance)
+	reg.Register(FuncCollapseRoot, fnCollapseRoot)
 }
 
 // meta is the tree's metadata object.
@@ -106,6 +128,8 @@ func fnDeleteLeaf(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID]
 // fnSplitChild params: EncodeParams(parentID, childID, newChildID).
 // Reads parent and child; writes parent, child, newChild.  The new child's
 // contents come entirely from the old child — nothing but ids on the log.
+// Splitting a leaf threads the chain: the new right leaf inherits the old
+// next pointer and the split leaf points at the new one.
 func fnSplitChild(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
 	fields, err := op.DecodeParams(params)
 	if err != nil || len(fields) != 3 {
@@ -132,6 +156,10 @@ func fnSplitChild(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID]
 		return nil, fmt.Errorf("btree: splitchild parent %q is not internal", parentID)
 	}
 	right, sep := child.splitRight()
+	if child.kind == leafPage {
+		right.next = child.next
+		child.next = newID
+	}
 	if err := parent.insertChild(sep, childID, newID); err != nil {
 		return nil, err
 	}
@@ -168,6 +196,10 @@ func fnSplitRoot(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][
 		return nil, err
 	}
 	right, sep := root.splitRight()
+	if root.kind == leafPage {
+		right.next = root.next
+		root.next = newChildID
+	}
 	newRoot := &page{
 		kind:     internalPage,
 		keys:     [][]byte{sep},
@@ -183,6 +215,132 @@ func fnSplitRoot(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][
 	}, nil
 }
 
+// fnMergeChild params: EncodeParams(parentID, leftID, rightID).
+// Reads all three pages; writes parent and left.  The right sibling is
+// absorbed into the left (separator pulled down for internal pages, leaf
+// chain re-threaded for leaves) and becomes an orphan the driver deletes.
+func fnMergeChild(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
+	fields, err := op.DecodeParams(params)
+	if err != nil || len(fields) != 3 {
+		return nil, fmt.Errorf("btree: mergechild wants (parent, left, right)")
+	}
+	parentID, leftID, rightID := op.ObjectID(fields[0]), op.ObjectID(fields[1]), op.ObjectID(fields[2])
+	parent, left, right, slot, err := siblingPages(reads, parentID, leftID, rightID)
+	if err != nil {
+		return nil, err
+	}
+	parent.mergeRight(slot, left, right)
+	return map[op.ObjectID][]byte{
+		parentID: encodePage(parent),
+		leftID:   encodePage(left),
+	}, nil
+}
+
+// fnRebalance params: EncodeParams(parentID, leftID, rightID, [dir]).
+// Reads and writes all three pages.  dir selects the donor: borrowLeft
+// moves the left sibling's last entry right, borrowRight moves the right
+// sibling's first entry left; the parent separator follows.
+func fnRebalance(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
+	fields, err := op.DecodeParams(params)
+	if err != nil || len(fields) != 4 || len(fields[3]) != 1 {
+		return nil, fmt.Errorf("btree: rebalance wants (parent, left, right, dir)")
+	}
+	parentID, leftID, rightID := op.ObjectID(fields[0]), op.ObjectID(fields[1]), op.ObjectID(fields[2])
+	parent, left, right, slot, err := siblingPages(reads, parentID, leftID, rightID)
+	if err != nil {
+		return nil, err
+	}
+	switch fields[3][0] {
+	case borrowLeft:
+		if len(left.keys) == 0 {
+			return nil, fmt.Errorf("btree: rebalance from empty left %q", leftID)
+		}
+		parent.borrowFromLeft(slot, left, right)
+	case borrowRight:
+		if len(right.keys) < 2 {
+			return nil, fmt.Errorf("btree: rebalance would empty right %q", rightID)
+		}
+		parent.borrowFromRight(slot, left, right)
+	default:
+		return nil, fmt.Errorf("btree: rebalance direction %q", fields[3])
+	}
+	return map[op.ObjectID][]byte{
+		parentID: encodePage(parent),
+		leftID:   encodePage(left),
+		rightID:  encodePage(right),
+	}, nil
+}
+
+// fnCollapseRoot params: EncodeParams(metaID, rootID).
+// Reads the meta and the keyless internal root; writes only the meta, which
+// now points at the root's sole child.  The driver deletes the old root.
+func fnCollapseRoot(params []byte, reads map[op.ObjectID][]byte) (map[op.ObjectID][]byte, error) {
+	fields, err := op.DecodeParams(params)
+	if err != nil || len(fields) != 2 {
+		return nil, fmt.Errorf("btree: collapseroot wants (meta, root)")
+	}
+	metaID, rootID := op.ObjectID(fields[0]), op.ObjectID(fields[1])
+	metaRaw, ok := reads[metaID]
+	if !ok {
+		return nil, fmt.Errorf("btree: collapseroot missing meta")
+	}
+	rootRaw, ok := reads[rootID]
+	if !ok {
+		return nil, fmt.Errorf("btree: collapseroot missing root")
+	}
+	m, err := decodeMeta(metaRaw)
+	if err != nil {
+		return nil, err
+	}
+	root, err := decodePage(rootRaw)
+	if err != nil {
+		return nil, err
+	}
+	if root.kind != internalPage || len(root.keys) != 0 || len(root.children) != 1 {
+		return nil, fmt.Errorf("btree: collapseroot on non-collapsible root %q", rootID)
+	}
+	m.root = root.children[0]
+	m.height--
+	return map[op.ObjectID][]byte{metaID: encodeMeta(m)}, nil
+}
+
+// siblingPages decodes a parent and two adjacent siblings out of a read set
+// and locates the left sibling's slot.
+func siblingPages(reads map[op.ObjectID][]byte, parentID, leftID, rightID op.ObjectID) (parent, left, right *page, slot int, err error) {
+	parentRaw, ok := reads[parentID]
+	if !ok {
+		return nil, nil, nil, 0, fmt.Errorf("btree: missing parent %q", parentID)
+	}
+	leftRaw, ok := reads[leftID]
+	if !ok {
+		return nil, nil, nil, 0, fmt.Errorf("btree: missing left sibling %q", leftID)
+	}
+	rightRaw, ok := reads[rightID]
+	if !ok {
+		return nil, nil, nil, 0, fmt.Errorf("btree: missing right sibling %q", rightID)
+	}
+	if parent, err = decodePage(parentRaw); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if left, err = decodePage(leftRaw); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if right, err = decodePage(rightRaw); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if parent.kind != internalPage {
+		return nil, nil, nil, 0, fmt.Errorf("btree: parent %q is not internal", parentID)
+	}
+	if left.kind != right.kind {
+		return nil, nil, nil, 0, fmt.Errorf("btree: sibling kinds differ (%q, %q)", leftID, rightID)
+	}
+	slot = parent.childSlot(leftID)
+	if slot < 0 || slot+1 >= len(parent.children) || parent.children[slot+1] != rightID {
+		return nil, nil, nil, 0, fmt.Errorf("btree: %q and %q are not adjacent under %q", leftID, rightID, parentID)
+	}
+	return parent, left, right, slot, nil
+}
+
 func soleRead(reads map[op.ObjectID][]byte) (op.ObjectID, []byte, error) {
 	if len(reads) != 1 {
 		return "", nil, fmt.Errorf("btree: expected 1 read, got %d", len(reads))
@@ -195,7 +353,7 @@ func soleRead(reads map[op.ObjectID][]byte) (op.ObjectID, []byte, error) {
 
 // --- tree driver ------------------------------------------------------------
 
-// Tree is a recoverable B-tree over an engine.
+// Tree is a recoverable leaf-linked B+tree over an engine.
 type Tree struct {
 	eng  *core.Engine
 	name string
@@ -338,6 +496,9 @@ func (t *Tree) Insert(key, val []byte) error {
 	}
 }
 
+// Put is Insert under the name the workload Domain interface expects.
+func (t *Tree) Put(key, val []byte) error { return t.Insert(key, val) }
+
 // Get returns the value for key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	m, err := t.meta()
@@ -361,9 +522,21 @@ func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	}
 }
 
-// Delete removes key; it reports whether the key was present.  Pages are not
-// merged (a common production simplification); the tree stays correct, just
-// possibly sparse.
+// minKeys is the underflow threshold: a non-root page visited by Delete is
+// topped up (borrow or merge) when it would drop to this many keys.
+func minKeys(order uint64) int {
+	mk := int(order-1) / 2
+	if mk < 1 {
+		mk = 1
+	}
+	return mk
+}
+
+// Delete removes key; it reports whether the key was present.  The descent
+// is preemptive: any child about to be entered with minKeys keys or fewer
+// is first topped up by a logical rebalance (borrow from a richer sibling)
+// or merge (absorb a sibling at minimum), so the leaf delete itself can
+// never underflow a page below the merge threshold.
 func (t *Tree) Delete(key []byte) (bool, error) {
 	_, found, err := t.Get(key)
 	if err != nil || !found {
@@ -373,6 +546,7 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	mk := minKeys(m.order)
 	cur := m.root
 	for {
 		p, err := t.readPage(cur)
@@ -382,40 +556,205 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 		if p.kind == leafPage {
 			return true, t.eng.Execute(op.NewPhysioWrite(cur, FuncDeleteLeaf, op.EncodeParams(key)))
 		}
+		slot := p.childIndex(key)
+		childID := p.children[slot]
+		child, err := t.readPage(childID)
+		if err != nil {
+			return false, err
+		}
+		if len(child.keys) <= mk {
+			if err := t.fixChild(p, cur, slot, mk); err != nil {
+				return false, err
+			}
+			// The fix rewrote the parent (and may have emptied a root);
+			// re-resolve the descent from the tree meta.
+			m, err = t.meta()
+			if err != nil {
+				return false, err
+			}
+			if cur == m.root {
+				if err := t.maybeCollapseRoot(m); err != nil {
+					return false, err
+				}
+				m, err = t.meta()
+				if err != nil {
+					return false, err
+				}
+				cur = m.root
+				continue
+			}
+			p, err = t.readPage(cur)
+			if err != nil {
+				return false, err
+			}
+			slot = p.childIndex(key)
+			childID = p.children[slot]
+		}
+		cur = childID
+	}
+}
+
+// fixChild tops up parent.children[slot] (which holds <= mk keys) by
+// borrowing from a sibling with spare keys, or merging with a sibling at
+// the minimum.  Merges orphan the absorbed page; the driver deletes it in
+// the same mutation stream, mirroring how a real system returns the page to
+// a free list.
+func (t *Tree) fixChild(parent *page, parentID op.ObjectID, slot int, mk int) error {
+	childID := parent.children[slot]
+	var leftID, rightID op.ObjectID
+	var left, right *page
+	var err error
+	if slot > 0 {
+		leftID = parent.children[slot-1]
+		if left, err = t.readPage(leftID); err != nil {
+			return err
+		}
+	}
+	if slot+1 < len(parent.children) {
+		rightID = parent.children[slot+1]
+		if right, err = t.readPage(rightID); err != nil {
+			return err
+		}
+	}
+	switch {
+	case left != nil && len(left.keys) > mk:
+		// Borrow the left sibling's last entry: (left, child) pair, dir L.
+		params := op.EncodeParams([]byte(parentID), []byte(leftID), []byte(childID), []byte{borrowLeft})
+		reb := op.NewLogical(FuncRebalance, params,
+			[]op.ObjectID{parentID, leftID, childID},
+			[]op.ObjectID{parentID, leftID, childID})
+		return t.eng.Execute(reb)
+	case right != nil && len(right.keys) > mk:
+		// Borrow the right sibling's first entry: (child, right) pair, dir R.
+		params := op.EncodeParams([]byte(parentID), []byte(childID), []byte(rightID), []byte{borrowRight})
+		reb := op.NewLogical(FuncRebalance, params,
+			[]op.ObjectID{parentID, childID, rightID},
+			[]op.ObjectID{parentID, childID, rightID})
+		return t.eng.Execute(reb)
+	case left != nil:
+		return t.mergePair(parentID, leftID, childID)
+	case right != nil:
+		return t.mergePair(parentID, childID, rightID)
+	default:
+		return fmt.Errorf("btree: %q slot %d has no siblings", parentID, slot)
+	}
+}
+
+// mergePair merges right into left under parent and deletes the orphan.
+func (t *Tree) mergePair(parentID, leftID, rightID op.ObjectID) error {
+	params := op.EncodeParams([]byte(parentID), []byte(leftID), []byte(rightID))
+	merge := op.NewLogical(FuncMergeChild, params,
+		[]op.ObjectID{parentID, leftID, rightID},
+		[]op.ObjectID{parentID, leftID})
+	if err := t.eng.Execute(merge); err != nil {
+		return err
+	}
+	return t.eng.Execute(op.NewDelete(rightID))
+}
+
+// maybeCollapseRoot drops an empty internal root (post-merge) and deletes
+// the orphaned page.
+func (t *Tree) maybeCollapseRoot(m *meta) error {
+	root, err := t.readPage(m.root)
+	if err != nil {
+		return err
+	}
+	if root.kind != internalPage || len(root.keys) != 0 {
+		return nil
+	}
+	oldRoot := m.root
+	params := op.EncodeParams([]byte(t.metaID()), []byte(oldRoot))
+	collapse := op.NewLogical(FuncCollapseRoot, params,
+		[]op.ObjectID{t.metaID(), oldRoot},
+		[]op.ObjectID{t.metaID()})
+	if err := t.eng.Execute(collapse); err != nil {
+		return err
+	}
+	return t.eng.Execute(op.NewDelete(oldRoot))
+}
+
+// leftmostLeaf descends the first-child spine to the head of the leaf chain.
+func (t *Tree) leftmostLeaf() (op.ObjectID, error) {
+	m, err := t.meta()
+	if err != nil {
+		return "", err
+	}
+	cur := m.root
+	for {
+		p, err := t.readPage(cur)
+		if err != nil {
+			return "", err
+		}
+		if p.kind == leafPage {
+			return cur, nil
+		}
+		cur = p.children[0]
+	}
+}
+
+// leafFor descends to the leaf whose key range covers key.
+func (t *Tree) leafFor(key []byte) (op.ObjectID, error) {
+	m, err := t.meta()
+	if err != nil {
+		return "", err
+	}
+	cur := m.root
+	for {
+		p, err := t.readPage(cur)
+		if err != nil {
+			return "", err
+		}
+		if p.kind == leafPage {
+			return cur, nil
+		}
 		cur = p.children[p.childIndex(key)]
 	}
 }
 
-// Scan visits all key/value pairs in order; fn returns false to stop.
+// Scan visits all key/value pairs in order by walking the leaf chain; fn
+// returns false to stop.
 func (t *Tree) Scan(fn func(key, val []byte) bool) error {
-	m, err := t.meta()
+	return t.Range(nil, nil, fn)
+}
+
+// Range visits key/value pairs with lo <= key < hi in order, walking the
+// leaf chain from the leaf covering lo.  A nil lo starts at the first key; a
+// nil hi runs to the end.  fn returns false to stop early.
+func (t *Tree) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
+	var cur op.ObjectID
+	var err error
+	if lo == nil {
+		cur, err = t.leftmostLeaf()
+	} else {
+		cur, err = t.leafFor(lo)
+	}
 	if err != nil {
 		return err
 	}
-	_, err = t.scanPage(m.root, fn)
-	return err
-}
-
-func (t *Tree) scanPage(id op.ObjectID, fn func(k, v []byte) bool) (bool, error) {
-	p, err := t.readPage(id)
-	if err != nil {
-		return false, err
-	}
-	if p.kind == leafPage {
-		for i, k := range p.keys {
-			if !fn(k, p.vals[i]) {
-				return false, nil
+	for cur != "" {
+		p, err := t.readPage(cur)
+		if err != nil {
+			return err
+		}
+		if p.kind != leafPage {
+			return fmt.Errorf("btree: leaf chain reached non-leaf %q", cur)
+		}
+		start := 0
+		if lo != nil {
+			start, _ = findKey(p.keys, lo)
+		}
+		for i := start; i < len(p.keys); i++ {
+			if hi != nil && cmp(p.keys[i], hi) >= 0 {
+				return nil
+			}
+			if !fn(p.keys[i], p.vals[i]) {
+				return nil
 			}
 		}
-		return true, nil
+		lo = nil // only the first leaf needs the lower-bound seek
+		cur = p.next
 	}
-	for _, c := range p.children {
-		cont, err := t.scanPage(c, fn)
-		if err != nil || !cont {
-			return cont, err
-		}
-	}
-	return true, nil
+	return nil
 }
 
 // Stats reports the tree shape.
@@ -460,13 +799,17 @@ func (t *Tree) walk(id op.ObjectID, fn func(*page)) error {
 }
 
 // Check verifies the structural invariants: key order within pages, key
-// ranges bounded by parent separators, uniform leaf depth, and child counts.
+// ranges bounded by parent separators, uniform leaf depth, child counts,
+// and the leaf chain (next pointers link the leaves exactly in left-to-right
+// order, terminating with an empty pointer at the rightmost leaf).
 func (t *Tree) Check() error {
 	m, err := t.meta()
 	if err != nil {
 		return err
 	}
 	leafDepth := -1
+	var leaves []op.ObjectID // left-to-right structural order
+	var chain []op.ObjectID  // as linked via next pointers
 	var check func(id op.ObjectID, lo, hi []byte, depth int) error
 	check = func(id op.ObjectID, lo, hi []byte, depth int) error {
 		p, err := t.readPage(id)
@@ -492,6 +835,8 @@ func (t *Tree) Check() error {
 			} else if leafDepth != depth {
 				return fmt.Errorf("btree: leaves at depths %d and %d", leafDepth, depth)
 			}
+			leaves = append(leaves, id)
+			chain = append(chain, p.next)
 			return nil
 		}
 		if len(p.children) != len(p.keys)+1 {
@@ -516,6 +861,15 @@ func (t *Tree) Check() error {
 	}
 	if leafDepth != -1 && leafDepth != int(m.height) {
 		return fmt.Errorf("btree: meta height %d but leaves at depth %d", m.height, leafDepth)
+	}
+	for i, next := range chain {
+		want := op.ObjectID("")
+		if i+1 < len(leaves) {
+			want = leaves[i+1]
+		}
+		if next != want {
+			return fmt.Errorf("btree: leaf %q next pointer %q, want %q", leaves[i], next, want)
+		}
 	}
 	return nil
 }

@@ -1,20 +1,30 @@
 // Package btree implements the database-recovery domain of the paper
-// (Section 1): a B-tree whose pages are recoverable objects and whose page
-// splits are logged as *logical* operations — the split log record names the
-// pages involved and the transformation, never the contents of the new page.
+// (Section 1): a B+tree whose pages are recoverable objects and whose page
+// splits, merges, and rebalances are logged as *logical* operations — the
+// structure-modification log record names the pages involved and the
+// transformation, never the contents of the new or merged page.
 // "A logical split operation avoids the need to log the contents of the new
 // B-tree node, which is required when using the simpler physiological
 // operation."
 //
-// Splits are single multi-object logical operations (read {parent, child},
-// write {parent, child, new child}), so a crash can never leave a half-split
-// tree: the recovery framework replays or skips the split as one unit.
-// Inserts and deletes within a leaf are physiological single-page
-// operations, exactly as in production systems.
+// Structure modifications are single multi-object logical operations (a
+// split reads {parent, child} and writes {parent, child, new child}; a merge
+// reads {parent, left, right} and writes {parent, left}), so a crash can
+// never leave a half-split or half-merged tree: the recovery framework
+// replays or skips the whole modification as one unit.  Inserts and deletes
+// within a leaf are physiological single-page operations, exactly as in
+// production systems.
+//
+// Leaves carry a next-leaf pointer, making the tree a leaf-linked B+tree:
+// Scan and Range walk the leaf chain instead of recursing through internal
+// pages.  The split transformations thread the chain (new right leaf inherits
+// the old next pointer) and the merge transformation unlinks the absorbed
+// leaf, so the chain invariant — leaves linked left to right, last leaf with
+// an empty next — holds across any prefix of replayed operations.
 //
 // The same tree code runs unchanged on an engine configured with
-// core.Options.Physiological, which lowers the logical split to physical
-// page writes — the E9 comparison baseline.
+// core.Options.Physiological, which lowers the logical operations to
+// physical page writes — the E9 comparison baseline.
 package btree
 
 import (
@@ -32,13 +42,14 @@ const (
 	internalPage pageKind = 2
 )
 
-// page is the decoded form of a B-tree page.
+// page is the decoded form of a B+tree page.
 //
-// Leaf:     keys[i] -> vals[i].
+// Leaf:     keys[i] -> vals[i], next = right sibling leaf ("" at the end).
 // Internal: children[0] <= keys[0] < children[1] <= keys[1] < ... — child i
 // holds keys < keys[i] (and child n holds keys >= keys[n-1]).
 type page struct {
 	kind     pageKind
+	next     op.ObjectID // leaf only: right sibling in the leaf chain
 	keys     [][]byte
 	vals     [][]byte      // leaf only, len == len(keys)
 	children []op.ObjectID // internal only, len == len(keys)+1
@@ -50,6 +61,7 @@ func encodePage(p *page) []byte {
 	fields = append(fields, []byte{byte(p.kind)})
 	switch p.kind {
 	case leafPage:
+		fields = append(fields, []byte(p.next))
 		for i, k := range p.keys {
 			fields = append(fields, k, p.vals[i])
 		}
@@ -75,10 +87,11 @@ func decodePage(v []byte) (*page, error) {
 	rest := fields[1:]
 	switch p.kind {
 	case leafPage:
-		if len(rest)%2 != 0 {
-			return nil, fmt.Errorf("btree: leaf with odd field count %d", len(rest))
+		if len(rest)%2 != 1 {
+			return nil, fmt.Errorf("btree: leaf with bad field count %d", len(rest))
 		}
-		for i := 0; i < len(rest); i += 2 {
+		p.next = op.ObjectID(rest[0])
+		for i := 1; i < len(rest); i += 2 {
 			p.keys = append(p.keys, rest[i])
 			p.vals = append(p.vals, rest[i+1])
 		}
@@ -153,7 +166,8 @@ func (p *page) deleteLeaf(key []byte) bool {
 // splitRight removes the upper half of the page into a new page and returns
 // (new page, separator key).  For leaves the separator is the first key of
 // the right page (and stays in it); for internal pages the separator moves
-// up and out of both halves.
+// up and out of both halves.  The caller threads the leaf chain (the new
+// page's identity is not known here).
 func (p *page) splitRight() (*page, []byte) {
 	mid := len(p.keys) / 2
 	right := &page{kind: p.kind}
@@ -195,4 +209,73 @@ func (p *page) insertChild(sep []byte, oldChild, newChild op.ObjectID) error {
 	copy(p.children[slot+2:], p.children[slot+1:])
 	p.children[slot+1] = newChild
 	return nil
+}
+
+// childSlot returns the index of child in p.children, or -1.
+func (p *page) childSlot(child op.ObjectID) int {
+	for i, c := range p.children {
+		if c == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// mergeRight absorbs right (the sibling at slot+1) into left (at slot),
+// pulling the separator down for internal pages and threading the leaf
+// chain for leaves, then drops the separator and the right child from p.
+func (p *page) mergeRight(slot int, left, right *page) {
+	sep := p.keys[slot]
+	switch left.kind {
+	case leafPage:
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	case internalPage:
+		left.keys = append(left.keys, sep)
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	p.keys = append(p.keys[:slot], p.keys[slot+1:]...)
+	p.children = append(p.children[:slot+1], p.children[slot+2:]...)
+}
+
+// borrowFromLeft moves the rightmost entry of left into right (siblings at
+// slot and slot+1 of p), updating the separator p.keys[slot].
+func (p *page) borrowFromLeft(slot int, left, right *page) {
+	last := len(left.keys) - 1
+	switch left.kind {
+	case leafPage:
+		k, v := left.keys[last], left.vals[last]
+		right.keys = append([][]byte{k}, right.keys...)
+		right.vals = append([][]byte{v}, right.vals...)
+		left.keys = left.keys[:last]
+		left.vals = left.vals[:last]
+		p.keys[slot] = k
+	case internalPage:
+		right.keys = append([][]byte{p.keys[slot]}, right.keys...)
+		right.children = append([]op.ObjectID{left.children[last+1]}, right.children...)
+		p.keys[slot] = left.keys[last]
+		left.keys = left.keys[:last]
+		left.children = left.children[:last+1]
+	}
+}
+
+// borrowFromRight moves the leftmost entry of right into left (siblings at
+// slot and slot+1 of p), updating the separator p.keys[slot].
+func (p *page) borrowFromRight(slot int, left, right *page) {
+	switch left.kind {
+	case leafPage:
+		left.keys = append(left.keys, right.keys[0])
+		left.vals = append(left.vals, right.vals[0])
+		right.keys = right.keys[1:]
+		right.vals = right.vals[1:]
+		p.keys[slot] = right.keys[0]
+	case internalPage:
+		left.keys = append(left.keys, p.keys[slot])
+		left.children = append(left.children, right.children[0])
+		p.keys[slot] = right.keys[0]
+		right.keys = right.keys[1:]
+		right.children = right.children[1:]
+	}
 }

@@ -150,6 +150,11 @@ func ValidateReport(r *Report) error {
 				return err
 			}
 		}
+		if e.ID == "E13" {
+			if err := validateDomainMetrics(e); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -182,6 +187,30 @@ func validateCommitMetrics(e ExperimentResult) error {
 		if hs.Count == 0 {
 			return fmt.Errorf("harness: %s: histogram %q is empty", e.ID, h)
 		}
+	}
+	return nil
+}
+
+// validateDomainMetrics checks the domain-workload metrics consumers read
+// from an E13 snapshot.  A report produced without a metrics registry has an
+// empty snapshot, which stays valid; once any counter is present the domain
+// family must be complete and the logical runs must have logged fewer bytes
+// than the physiological baseline.
+func validateDomainMetrics(e ExperimentResult) error {
+	if len(e.Metrics.Counters) == 0 {
+		return nil
+	}
+	for _, c := range []string{"domain.ops", "domain.logical_bytes", "domain.physio_bytes"} {
+		if _, ok := e.Metrics.Counters[c]; !ok {
+			return fmt.Errorf("harness: %s: metrics missing counter %q", e.ID, c)
+		}
+	}
+	if e.Metrics.Counters["domain.ops"] <= 0 {
+		return fmt.Errorf("harness: %s: domain.ops is zero", e.ID)
+	}
+	if e.Metrics.Counters["domain.logical_bytes"] >= e.Metrics.Counters["domain.physio_bytes"] {
+		return fmt.Errorf("harness: %s: logical log bytes (%d) not below the physiological baseline (%d)",
+			e.ID, e.Metrics.Counters["domain.logical_bytes"], e.Metrics.Counters["domain.physio_bytes"])
 	}
 	return nil
 }

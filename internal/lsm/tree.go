@@ -1,0 +1,364 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"logicallog/internal/core"
+	"logicallog/internal/op"
+)
+
+// Options tunes the driver's automatic maintenance.
+type Options struct {
+	// FlushThreshold flushes the memtable once it holds this many entries
+	// (0 disables automatic flushes; call Flush explicitly).
+	FlushThreshold int
+	// Fanout compacts the whole table set down to one SSTable once more
+	// than this many tables exist (0 disables automatic compaction).
+	Fanout int
+}
+
+// DefaultOptions returns maintenance settings suited to tests and demos.
+func DefaultOptions() Options {
+	return Options{FlushThreshold: 8, Fanout: 4}
+}
+
+// LSM is a recoverable log-structured merge tree over an engine.
+type LSM struct {
+	eng  *core.Engine
+	name string
+	opt  Options
+}
+
+// New creates an LSM tree with the given name.
+func New(eng *core.Engine, name string, opt Options) (*LSM, error) {
+	l := &LSM{eng: eng, name: name, opt: opt}
+	man := &manifest{next: 0}
+	if err := eng.Execute(op.NewCreate(l.manifestID(), encodeManifest(man))); err != nil {
+		return nil, err
+	}
+	if err := eng.Execute(op.NewCreate(l.memID(), encodeTable(nil))); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Open attaches to an existing tree (e.g. after recovery).
+func Open(eng *core.Engine, name string, opt Options) (*LSM, error) {
+	l := &LSM{eng: eng, name: name, opt: opt}
+	if _, err := l.manifest(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *LSM) manifestID() op.ObjectID { return op.ObjectID("lsm/" + l.name + "/manifest") }
+func (l *LSM) memID() op.ObjectID      { return op.ObjectID("lsm/" + l.name + "/mem") }
+
+func (l *LSM) manifest() (*manifest, error) {
+	raw, err := l.eng.Get(l.manifestID())
+	if err != nil {
+		return nil, fmt.Errorf("lsm: tree %q: %w", l.name, err)
+	}
+	return decodeManifest(raw)
+}
+
+func (l *LSM) readTable(id op.ObjectID) ([]entry, error) {
+	raw, err := l.eng.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTable(raw)
+}
+
+// memPut records one upsert (value or tombstone) and runs maintenance.
+func (l *LSM) memPut(key []byte, tag byte, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("lsm: empty key")
+	}
+	params := op.EncodeParams(key, []byte{tag}, val)
+	if err := l.eng.Execute(op.NewPhysioWrite(l.memID(), FuncMemPut, params)); err != nil {
+		return err
+	}
+	return l.maintain()
+}
+
+// Put adds or replaces key -> val.
+func (l *LSM) Put(key, val []byte) error { return l.memPut(key, tagValue, val) }
+
+// Delete removes key; it reports whether the key was visible beforehand.
+// The delete itself is a tombstone upsert — the key stays masked until a
+// full compaction drops the tombstone.
+func (l *LSM) Delete(key []byte) (bool, error) {
+	_, found, err := l.Get(key)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	return true, l.memPut(key, tagTombstone, nil)
+}
+
+// Get returns the newest value for key, consulting the memtable and then
+// each SSTable newest-first.
+func (l *LSM) Get(key []byte) ([]byte, bool, error) {
+	mem, err := l.readTable(l.memID())
+	if err != nil {
+		return nil, false, err
+	}
+	if i, found := findEntry(mem, key); found {
+		if mem[i].tag == tagTombstone {
+			return nil, false, nil
+		}
+		return mem[i].val, true, nil
+	}
+	man, err := l.manifest()
+	if err != nil {
+		return nil, false, err
+	}
+	for _, id := range man.tables {
+		es, err := l.readTable(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if i, found := findEntry(es, key); found {
+			if es[i].tag == tagTombstone {
+				return nil, false, nil
+			}
+			return es[i].val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Range visits live key/value pairs with lo <= key < hi in order, merging
+// the memtable and all SSTables with newest-entry precedence and skipping
+// tombstones.  A nil lo starts at the first key; a nil hi runs to the end.
+// fn returns false to stop early.
+func (l *LSM) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
+	man, err := l.manifest()
+	if err != nil {
+		return err
+	}
+	sources := make([][]entry, 0, 1+len(man.tables))
+	mem, err := l.readTable(l.memID())
+	if err != nil {
+		return err
+	}
+	sources = append(sources, mem) // newest
+	for _, id := range man.tables {
+		es, err := l.readTable(id)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, es)
+	}
+	// k-way merge over sorted runs; the lowest-indexed (newest) source wins
+	// ties, and losers for the same key advance without emitting.
+	idx := make([]int, len(sources))
+	for s, es := range sources {
+		if lo != nil {
+			idx[s], _ = findEntry(es, lo)
+		}
+	}
+	for {
+		best := -1
+		for s, es := range sources {
+			if idx[s] >= len(es) {
+				continue
+			}
+			if best == -1 || bytes.Compare(es[idx[s]].key, sources[best][idx[best]].key) < 0 {
+				best = s
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		e := sources[best][idx[best]]
+		if hi != nil && bytes.Compare(e.key, hi) >= 0 {
+			return nil
+		}
+		for s, es := range sources {
+			if idx[s] < len(es) && bytes.Equal(es[idx[s]].key, e.key) {
+				idx[s]++
+			}
+		}
+		if e.tag == tagTombstone {
+			continue
+		}
+		if !fn(e.key, e.val) {
+			return nil
+		}
+	}
+}
+
+// Scan visits all live key/value pairs in order; fn returns false to stop.
+func (l *LSM) Scan(fn func(key, val []byte) bool) error {
+	return l.Range(nil, nil, fn)
+}
+
+// Flush turns the memtable into a new SSTable via the logical flush
+// operation; a no-op when the memtable is empty.
+func (l *LSM) Flush() error {
+	mem, err := l.readTable(l.memID())
+	if err != nil {
+		return err
+	}
+	if len(mem) == 0 {
+		return nil
+	}
+	man, err := l.manifest()
+	if err != nil {
+		return err
+	}
+	sstID := tableID(l.manifestID(), man.next)
+	params := op.EncodeParams([]byte(l.manifestID()), []byte(l.memID()), []byte(sstID))
+	flush := op.NewLogical(FuncFlush, params,
+		[]op.ObjectID{l.manifestID(), l.memID()},
+		[]op.ObjectID{l.manifestID(), l.memID(), sstID})
+	return l.eng.Execute(flush)
+}
+
+// Compact merges every SSTable into one via the logical compact operation
+// (whose read set spans the manifest and all input tables), then deletes
+// the superseded inputs; a no-op with fewer than two tables.
+func (l *LSM) Compact() error {
+	man, err := l.manifest()
+	if err != nil {
+		return err
+	}
+	if len(man.tables) < 2 {
+		return nil
+	}
+	inputs := append([]op.ObjectID(nil), man.tables...)
+	outID := tableID(l.manifestID(), man.next)
+	fields := make([][]byte, 0, 2+len(inputs))
+	fields = append(fields, []byte(l.manifestID()), []byte(outID))
+	for _, id := range inputs {
+		fields = append(fields, []byte(id))
+	}
+	readSet := append([]op.ObjectID{l.manifestID()}, inputs...)
+	compact := op.NewLogical(FuncCompact, op.EncodeParams(fields...),
+		readSet,
+		[]op.ObjectID{l.manifestID(), outID})
+	if err := l.eng.Execute(compact); err != nil {
+		return err
+	}
+	return l.eng.Execute(op.NewDelete(inputs...))
+}
+
+// maintain applies the automatic flush and compaction thresholds.
+func (l *LSM) maintain() error {
+	if l.opt.FlushThreshold > 0 {
+		mem, err := l.readTable(l.memID())
+		if err != nil {
+			return err
+		}
+		if len(mem) >= l.opt.FlushThreshold {
+			if err := l.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if l.opt.Fanout > 0 {
+		man, err := l.manifest()
+		if err != nil {
+			return err
+		}
+		if len(man.tables) > l.opt.Fanout {
+			return l.Compact()
+		}
+	}
+	return nil
+}
+
+// Stats reports the tree shape.
+type Stats struct {
+	MemEntries   int
+	Tables       int
+	TableEntries int
+	Tombstones   int
+}
+
+// Stats walks the manifest and returns shape statistics.
+func (l *LSM) Stats() (Stats, error) {
+	var st Stats
+	mem, err := l.readTable(l.memID())
+	if err != nil {
+		return st, err
+	}
+	st.MemEntries = len(mem)
+	for _, e := range mem {
+		if e.tag == tagTombstone {
+			st.Tombstones++
+		}
+	}
+	man, err := l.manifest()
+	if err != nil {
+		return st, err
+	}
+	st.Tables = len(man.tables)
+	for _, id := range man.tables {
+		es, err := l.readTable(id)
+		if err != nil {
+			return st, err
+		}
+		st.TableEntries += len(es)
+		for _, e := range es {
+			if e.tag == tagTombstone {
+				st.Tombstones++
+			}
+		}
+	}
+	return st, nil
+}
+
+// Check verifies the structural invariants: every manifest table decodes
+// with strictly increasing keys, table ids carry the tree's prefix with
+// numbers below the allocation counter, and the memtable is sorted.
+func (l *LSM) Check() error {
+	man, err := l.manifest()
+	if err != nil {
+		return err
+	}
+	prefix := "lsm/" + l.name + "/s"
+	seen := make(map[op.ObjectID]bool, len(man.tables))
+	for _, id := range man.tables {
+		if !strings.HasPrefix(string(id), prefix) {
+			return fmt.Errorf("lsm: manifest lists foreign table %q", id)
+		}
+		if id >= tableID(l.manifestID(), man.next) {
+			return fmt.Errorf("lsm: table %q at or above allocation counter %d", id, man.next)
+		}
+		if seen[id] {
+			return fmt.Errorf("lsm: table %q listed twice", id)
+		}
+		seen[id] = true
+		es, err := l.readTable(id)
+		if err != nil {
+			return fmt.Errorf("lsm: table %q: %w", id, err)
+		}
+		if err := checkSorted(es); err != nil {
+			return fmt.Errorf("lsm: table %q: %w", id, err)
+		}
+	}
+	mem, err := l.readTable(l.memID())
+	if err != nil {
+		return err
+	}
+	if err := checkSorted(mem); err != nil {
+		return fmt.Errorf("lsm: memtable: %w", err)
+	}
+	return nil
+}
+
+func checkSorted(es []entry) error {
+	for i := 1; i < len(es); i++ {
+		if bytes.Compare(es[i-1].key, es[i].key) >= 0 {
+			return fmt.Errorf("keys out of order at %d", i)
+		}
+	}
+	return nil
+}

@@ -24,20 +24,30 @@ import (
 	"logicallog/internal/wal"
 )
 
-// ShipScheduleFailure is one failed ship schedule.
+// ShipScheduleFailure is one failed ship schedule.  Mix is empty for the
+// default scripted workload; otherwise it names the scenario mix that drove
+// the primary.
 type ShipScheduleFailure struct {
 	Config   string
+	Mix      string
 	Schedule string
 	Err      error
 }
 
 // Repro returns a shell command replaying exactly this schedule.
 func (f ShipScheduleFailure) Repro() string {
+	if f.Mix != "" {
+		return fmt.Sprintf("go test ./internal/sim -run TestShipScheduleReplay -ship.config %q -ship.mix %q -ship.schedule %q", f.Config, f.Mix, f.Schedule)
+	}
 	return fmt.Sprintf("go test ./internal/sim -run TestShipScheduleReplay -ship.config %q -ship.schedule %q", f.Config, f.Schedule)
 }
 
 func (f ShipScheduleFailure) String() string {
-	return fmt.Sprintf("[%s @ %s] %v\n    repro: %s", f.Config, f.Schedule, f.Err, f.Repro())
+	name := f.Config
+	if f.Mix != "" {
+		name += "/" + f.Mix
+	}
+	return fmt.Sprintf("[%s @ %s] %v\n    repro: %s", name, f.Schedule, f.Err, f.Repro())
 }
 
 // ShipExploreReport summarizes one configuration's ship exploration.
@@ -96,25 +106,31 @@ func parseShipSchedule(text string) (shipSchedule, error) {
 // the four wire faults.  Schedule failures are collected, not fatal; only a
 // broken harness returns an error.
 func ExploreShip(cfg NamedConfig, stride int) (*ShipExploreReport, error) {
+	return exploreShipWith(cfg, stride, "", runExploreScript, nil)
+}
+
+// exploreShipWith is the ship-exploration loop shared by the default script
+// and the scenario-mix sweeps (see ExploreShipMix).
+func exploreShipWith(cfg NamedConfig, stride int, mix string, script exploreScript, post func(*core.Engine) error) (*ShipExploreReport, error) {
 	if stride < 1 {
 		stride = 1
 	}
 	rep := &ShipExploreReport{Config: cfg.Name}
 
-	sends, err := runShipSchedule(cfg, shipSchedule{kind: "count"})
+	sends, err := runShipScheduleWith(cfg, shipSchedule{kind: "count"}, script, post)
 	rep.Schedules++
 	if errors.Is(err, errHarness) {
 		return nil, err
 	}
 	if err != nil {
-		rep.Failures = append(rep.Failures, ShipScheduleFailure{cfg.Name, "none", err})
+		rep.Failures = append(rep.Failures, ShipScheduleFailure{cfg.Name, mix, "none", err})
 	}
 	rep.Boundaries = sends
 
 	run := func(sched shipSchedule) {
 		rep.Schedules++
-		if _, err := runShipSchedule(cfg, sched); err != nil {
-			rep.Failures = append(rep.Failures, ShipScheduleFailure{cfg.Name, sched.String(), err})
+		if _, err := runShipScheduleWith(cfg, sched, script, post); err != nil {
+			rep.Failures = append(rep.Failures, ShipScheduleFailure{cfg.Name, mix, sched.String(), err})
 		}
 	}
 	for b := 0; b < rep.Boundaries; b += stride {
@@ -201,6 +217,12 @@ func (bt *boundaryTransport) Send(b *ship.Batch) (ship.Ack, error) {
 // It returns the total sends, which the counting run uses as the boundary
 // space.
 func runShipSchedule(cfg NamedConfig, sched shipSchedule) (int, error) {
+	return runShipScheduleWith(cfg, sched, runExploreScript, nil)
+}
+
+// runShipScheduleWith is runShipSchedule parameterized by the primary's
+// script and an optional domain-level check on the promoted standby.
+func runShipScheduleWith(cfg NamedConfig, sched shipSchedule, script exploreScript, post func(*core.Engine) error) (int, error) {
 	popts := cfg.Opts
 	popts.LogDevice = wal.NewMemDevice()
 	popts.RedoWorkers = 1 + (sched.boundary+len(sched.token))%4
@@ -245,7 +267,7 @@ func runShipSchedule(cfg NamedConfig, sched shipSchedule) (int, error) {
 	s := ship.NewSender(eng.Log(), bt, 1, ship.SenderConfig{BatchRecords: 3})
 	defer s.Close()
 
-	scriptErr := runExploreScript(eng, rec, func(step int, _ *core.Engine) error {
+	scriptErr := script(eng, rec, func(step int, _ *core.Engine) error {
 		return s.PumpAll()
 	})
 	boundaryHit := errors.Is(scriptErr, errShipBoundary)
@@ -290,6 +312,11 @@ func runShipSchedule(cfg NamedConfig, sched shipSchedule) (int, error) {
 	}
 	if cfg.Opts.LogInstalls && rec.initial != nil {
 		if err := checkExplainableState(promoted, rec); err != nil {
+			return bt.sends, err
+		}
+	}
+	if post != nil {
+		if err := post(promoted); err != nil {
 			return bt.sends, err
 		}
 	}

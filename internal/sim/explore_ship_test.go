@@ -44,6 +44,12 @@ func TestShipScheduleReplay(t *testing.T) {
 	if *shipConfigFlag == "" && *shipScheduleFlag == "" {
 		t.Skip("no -ship.config/-ship.schedule; this test replays explorer repros")
 	}
+	if *shipMixFlag != "" {
+		if err := ReplayShipMixSchedule(*shipConfigFlag, *shipMixFlag, *shipScheduleFlag); err != nil {
+			t.Fatalf("schedule %q (mix %q) on %q: %v\n", *shipScheduleFlag, *shipMixFlag, *shipConfigFlag, err)
+		}
+		return
+	}
 	if err := ReplayShipSchedule(*shipConfigFlag, *shipScheduleFlag); err != nil {
 		t.Fatalf("schedule %q on %q: %v\n", *shipScheduleFlag, *shipConfigFlag, err)
 	}

@@ -163,6 +163,12 @@ func TestCrashScheduleReplay(t *testing.T) {
 	if *faultToken == "" && *faultConfig == "" {
 		t.Skip("no -fault.token/-fault.config given")
 	}
+	if *faultMixFlag != "" {
+		if err := ReplayMixSchedule(*faultConfig, *faultMixFlag, *faultToken); err != nil {
+			t.Fatalf("schedule %q (mix %q) on %q failed: %v", *faultToken, *faultMixFlag, *faultConfig, err)
+		}
+		return
+	}
 	if err := ReplaySchedule(*faultConfig, *faultToken); err != nil {
 		t.Fatalf("schedule %q on %q failed: %v", *faultToken, *faultConfig, err)
 	}

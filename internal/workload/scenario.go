@@ -1,0 +1,391 @@
+// Scenario mixes: named key/value workload shapes driven against a storage
+// Domain (the leaf-linked B+tree, the LSM tree, or anything satisfying the
+// same five calls).  A MixDriver makes every choice from its own seeded rng
+// — never from a domain response — so the operation stream a given seed
+// produces is identical across engine configurations, which is what lets
+// the crash and ship explorers enumerate fault schedules over reproducible
+// I/O boundary sequences.  The driver keeps an in-memory model of the
+// expected contents and cross-checks every lookup, scan, and delete against
+// it, turning each step into a differential test.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Domain is the key/value surface a scenario mix drives.  Both btree.Tree
+// and lsm.LSM satisfy it natively.
+type Domain interface {
+	Put(key, val []byte) error
+	Get(key []byte) ([]byte, bool, error)
+	Delete(key []byte) (bool, error)
+	Range(lo, hi []byte, fn func(key, val []byte) bool) error
+	Check() error
+}
+
+// Mix is a named scenario shape: operation percentages over a bounded key
+// space.  Percentages must be non-negative and sum to at most 100; the
+// remainder falls to point lookups.
+type Mix struct {
+	Name      string
+	LookupPct int // point Get
+	ScanPct   int // bounded range scan
+	InsertPct int // Put of a uniformly drawn key
+	UpdatePct int // Put of a hot (skewed) key
+	DeletePct int // Delete of a hot (skewed) key
+	Keys      int // key-space size
+	ValueSize int // value bytes per Put
+}
+
+// Mixes returns the named scenario mixes, in a fixed order.
+func Mixes() []Mix {
+	return []Mix{
+		{
+			Name:      "point-lookup-heavy",
+			LookupPct: 70, ScanPct: 5, InsertPct: 10, UpdatePct: 10, DeletePct: 5,
+			Keys: 96, ValueSize: 32,
+		},
+		{
+			Name:      "scan-heavy",
+			LookupPct: 15, ScanPct: 50, InsertPct: 15, UpdatePct: 15, DeletePct: 5,
+			Keys: 96, ValueSize: 32,
+		},
+		{
+			Name:      "write-burst",
+			LookupPct: 5, ScanPct: 5, InsertPct: 50, UpdatePct: 25, DeletePct: 15,
+			Keys: 96, ValueSize: 32,
+		},
+	}
+}
+
+// LookupMix returns the named mix.
+func LookupMix(name string) (Mix, bool) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// MixNames returns the names of the built-in mixes.
+func MixNames() []string {
+	var names []string
+	for _, m := range Mixes() {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// ParseMix resolves a -scenario/-mix flag value: either the name of a
+// built-in mix or a custom "lookup=40,scan=10,insert=20,update=20,delete=10"
+// spec (with optional keys= and valsize= fields).  The result is validated.
+func ParseMix(s string) (Mix, error) {
+	if m, ok := LookupMix(s); ok {
+		return m, nil
+	}
+	if !strings.Contains(s, "=") {
+		return Mix{}, fmt.Errorf("workload: unknown mix %q (have %s)", s, strings.Join(MixNames(), ", "))
+	}
+	m := Mix{Name: "custom", Keys: 96, ValueSize: 32}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("workload: bad mix field %q", field)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Mix{}, fmt.Errorf("workload: bad mix value %q: %v", field, err)
+		}
+		switch k {
+		case "lookup":
+			m.LookupPct = n
+		case "scan":
+			m.ScanPct = n
+		case "insert":
+			m.InsertPct = n
+		case "update":
+			m.UpdatePct = n
+		case "delete":
+			m.DeletePct = n
+		case "keys":
+			m.Keys = n
+		case "valsize":
+			m.ValueSize = n
+		default:
+			return Mix{}, fmt.Errorf("workload: unknown mix field %q", k)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
+
+// Validate checks the mix shape.
+func (m Mix) Validate() error {
+	for _, pct := range []struct {
+		name string
+		v    int
+	}{
+		{"lookup", m.LookupPct},
+		{"scan", m.ScanPct},
+		{"insert", m.InsertPct},
+		{"update", m.UpdatePct},
+		{"delete", m.DeletePct},
+	} {
+		if pct.v < 0 {
+			return fmt.Errorf("workload: negative %s percentage %d", pct.name, pct.v)
+		}
+	}
+	if sum := m.LookupPct + m.ScanPct + m.InsertPct + m.UpdatePct + m.DeletePct; sum > 100 {
+		return fmt.Errorf("workload: mix percentages sum to %d > 100", sum)
+	}
+	if m.Keys < 1 {
+		return fmt.Errorf("workload: mix needs >= 1 key, got %d", m.Keys)
+	}
+	if m.ValueSize < 1 {
+		return fmt.Errorf("workload: mix needs >= 1 value byte, got %d", m.ValueSize)
+	}
+	return nil
+}
+
+// OpCounts tallies the operations a MixDriver has issued.
+type OpCounts struct {
+	Lookups int
+	Scans   int
+	Inserts int
+	Updates int
+	Deletes int
+}
+
+// Total returns the number of steps driven.
+func (c OpCounts) Total() int {
+	return c.Lookups + c.Scans + c.Inserts + c.Updates + c.Deletes
+}
+
+// MixDriver drives one scenario mix against a Domain while maintaining the
+// expected contents.  All randomness comes from the seeded rng, so the same
+// (mix, seed) always issues the same operation sequence regardless of how
+// the domain responds.
+type MixDriver struct {
+	mix    Mix
+	rng    *rand.Rand
+	model  map[string][]byte
+	counts OpCounts
+}
+
+// NewMixDriver validates the mix and builds a driver.
+func NewMixDriver(mix Mix, seed int64) (*MixDriver, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	return &MixDriver{
+		mix:   mix,
+		rng:   rand.New(rand.NewSource(seed)),
+		model: make(map[string][]byte),
+	}, nil
+}
+
+// Counts returns the operations issued so far.
+func (d *MixDriver) Counts() OpCounts { return d.counts }
+
+// ModelSize returns the number of keys the model expects to be present.
+func (d *MixDriver) ModelSize() int { return len(d.model) }
+
+// keyFor formats key number i.
+func (d *MixDriver) keyFor(i int) []byte {
+	return []byte(fmt.Sprintf("k%05d", i))
+}
+
+// hotKey draws a key with 80/20 skew: 80% of draws land in the first fifth
+// of the key space.
+func (d *MixDriver) hotKey() []byte {
+	hot := d.mix.Keys / 5
+	if hot < 1 {
+		hot = 1
+	}
+	if d.rng.Intn(100) < 80 {
+		return d.keyFor(d.rng.Intn(hot))
+	}
+	if d.mix.Keys == hot {
+		return d.keyFor(d.rng.Intn(hot))
+	}
+	return d.keyFor(hot + d.rng.Intn(d.mix.Keys-hot))
+}
+
+// uniformKey draws a key uniformly.
+func (d *MixDriver) uniformKey() []byte {
+	return d.keyFor(d.rng.Intn(d.mix.Keys))
+}
+
+// value produces the next random value.
+func (d *MixDriver) value() []byte {
+	v := make([]byte, d.mix.ValueSize)
+	d.rng.Read(v)
+	return v
+}
+
+// Step drives one operation, cross-checking reads against the model.  The
+// rng is always advanced identically regardless of the outcome.
+func (d *MixDriver) Step(dom Domain) error {
+	roll := d.rng.Intn(100)
+	limit := d.mix.ScanPct
+	switch {
+	case roll < limit:
+		return d.stepScan(dom)
+	case roll < limit+d.mix.InsertPct:
+		d.counts.Inserts++
+		k, v := d.uniformKey(), d.value()
+		if err := dom.Put(k, v); err != nil {
+			return err
+		}
+		d.model[string(k)] = v
+		return nil
+	case roll < limit+d.mix.InsertPct+d.mix.UpdatePct:
+		d.counts.Updates++
+		k, v := d.hotKey(), d.value()
+		if err := dom.Put(k, v); err != nil {
+			return err
+		}
+		d.model[string(k)] = v
+		return nil
+	case roll < limit+d.mix.InsertPct+d.mix.UpdatePct+d.mix.DeletePct:
+		d.counts.Deletes++
+		k := d.hotKey()
+		_, wantFound := d.model[string(k)]
+		found, err := dom.Delete(k)
+		if err != nil {
+			return err
+		}
+		if found != wantFound {
+			return fmt.Errorf("workload: delete(%s) found=%v, model says %v", k, found, wantFound)
+		}
+		delete(d.model, string(k))
+		return nil
+	default:
+		// Lookups absorb LookupPct plus any unassigned remainder.
+		d.counts.Lookups++
+		k := d.hotKey()
+		v, found, err := dom.Get(k)
+		if err != nil {
+			return err
+		}
+		want, wantFound := d.model[string(k)]
+		if found != wantFound {
+			return fmt.Errorf("workload: get(%s) found=%v, model says %v", k, found, wantFound)
+		}
+		if found && !bytes.Equal(v, want) {
+			return fmt.Errorf("workload: get(%s) = %x, model says %x", k, v, want)
+		}
+		return nil
+	}
+}
+
+// stepScan runs a bounded range scan from a random key and cross-checks the
+// visited pairs against the model.
+func (d *MixDriver) stepScan(dom Domain) error {
+	d.counts.Scans++
+	lo := d.uniformKey()
+	const scanLimit = 12
+	want := d.modelKeysFrom(string(lo), scanLimit)
+	var got []string
+	err := dom.Range(lo, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		if !bytes.Equal(v, d.model[string(k)]) {
+			got[len(got)-1] = string(k) + "!" // poison for the mismatch report
+			return false
+		}
+		return len(got) < scanLimit
+	})
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("workload: scan from %s saw %d keys %v, model says %d %v", lo, len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("workload: scan from %s diverges at %d: %q vs model %q", lo, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// modelKeysFrom returns up to limit model keys >= lo, sorted.
+func (d *MixDriver) modelKeysFrom(lo string, limit int) []string {
+	var keys []string
+	for k := range d.model {
+		if k >= lo {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) > limit {
+		keys = keys[:limit]
+	}
+	return keys
+}
+
+// Steps drives n operations.
+func (d *MixDriver) Steps(dom Domain, n int) error {
+	for i := 0; i < n; i++ {
+		if err := d.Step(dom); err != nil {
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Verify checks that the domain's full contents exactly match the model and
+// that the domain's structural invariants hold.
+func (d *MixDriver) Verify(dom Domain) error {
+	if err := dom.Check(); err != nil {
+		return err
+	}
+	seen := 0
+	var scanErr error
+	err := dom.Range(nil, nil, func(k, v []byte) bool {
+		want, ok := d.model[string(k)]
+		if !ok {
+			scanErr = fmt.Errorf("workload: domain has unexpected key %s", k)
+			return false
+		}
+		if !bytes.Equal(v, want) {
+			scanErr = fmt.Errorf("workload: domain %s = %x, model says %x", k, v, want)
+			return false
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	if seen != len(d.model) {
+		return fmt.Errorf("workload: domain has %d keys, model says %d", seen, len(d.model))
+	}
+	return nil
+}
+
+// Adopt replaces the model with the domain's current contents — the
+// post-recovery resync point after a crash discarded unforced steps.
+func (d *MixDriver) Adopt(dom Domain) error {
+	fresh := make(map[string][]byte)
+	err := dom.Range(nil, nil, func(k, v []byte) bool {
+		fresh[string(k)] = append([]byte(nil), v...)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	d.model = fresh
+	return nil
+}

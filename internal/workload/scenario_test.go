@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// mapDomain is a trivial in-memory Domain for driver unit tests.
+type mapDomain struct {
+	m map[string][]byte
+}
+
+func newMapDomain() *mapDomain { return &mapDomain{m: make(map[string][]byte)} }
+
+func (d *mapDomain) Put(k, v []byte) error {
+	d.m[string(k)] = append([]byte(nil), v...)
+	return nil
+}
+
+func (d *mapDomain) Get(k []byte) ([]byte, bool, error) {
+	v, ok := d.m[string(k)]
+	return v, ok, nil
+}
+
+func (d *mapDomain) Delete(k []byte) (bool, error) {
+	_, ok := d.m[string(k)]
+	delete(d.m, string(k))
+	return ok, nil
+}
+
+func (d *mapDomain) Range(lo, hi []byte, fn func(k, v []byte) bool) error {
+	var keys []string
+	for k := range d.m {
+		if lo != nil && k < string(lo) {
+			continue
+		}
+		if hi != nil && k >= string(hi) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), d.m[k]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (d *mapDomain) Check() error { return nil }
+
+func TestSpecValidateBoundaries(t *testing.T) {
+	// Exactly 100 percent is fine.
+	ok := DefaultSpec(1)
+	ok.LogicalAPct, ok.LogicalBPct, ok.PhysioPct, ok.DeletePct = 40, 30, 20, 10
+	if err := ok.Validate(); err != nil {
+		t.Errorf("sum==100 rejected: %v", err)
+	}
+	// 101 is not.
+	over := ok
+	over.DeletePct = 11
+	if err := over.Validate(); err == nil {
+		t.Error("sum==101 accepted")
+	}
+	// Negative percentages are rejected even when the sum sneaks under 100.
+	neg := DefaultSpec(1)
+	neg.LogicalAPct = -10
+	neg.LogicalBPct = 50
+	if err := neg.Validate(); err == nil {
+		t.Error("negative percentage accepted")
+	}
+	// Two objects is the floor.
+	two := DefaultSpec(1)
+	two.Objects = 2
+	if err := two.Validate(); err != nil {
+		t.Errorf("2-object population rejected: %v", err)
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	for _, m := range Mixes() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("built-in mix %s invalid: %v", m.Name, err)
+		}
+	}
+	bad := Mix{Name: "x", LookupPct: 60, ScanPct: 60, Keys: 10, ValueSize: 8}
+	if err := bad.Validate(); err == nil {
+		t.Error("over-100 mix accepted")
+	}
+	bad = Mix{Name: "x", LookupPct: -1, Keys: 10, ValueSize: 8}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative percentage accepted")
+	}
+	bad = Mix{Name: "x", LookupPct: 50, Keys: 0, ValueSize: 8}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty key space accepted")
+	}
+	bad = Mix{Name: "x", LookupPct: 50, Keys: 10, ValueSize: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty values accepted")
+	}
+	// Boundary: exactly 100.
+	exact := Mix{Name: "x", LookupPct: 20, ScanPct: 20, InsertPct: 20, UpdatePct: 20, DeletePct: 20, Keys: 10, ValueSize: 8}
+	if err := exact.Validate(); err != nil {
+		t.Errorf("sum==100 mix rejected: %v", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	for _, name := range MixNames() {
+		m, err := ParseMix(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ParseMix(%s) = %+v, %v", name, m, err)
+		}
+	}
+	m, err := ParseMix("lookup=40,scan=10,insert=20,update=20,delete=10,keys=32,valsize=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ScanPct != 10 || m.Keys != 32 || m.ValueSize != 16 {
+		t.Errorf("custom mix = %+v", m)
+	}
+	for _, bad := range []string{
+		"no-such-mix",
+		"lookup=40,scan=70", // sums over 100
+		"lookup=-5",
+		"bogus=1",
+		"lookup=x",
+		"lookup",
+	} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+	// The error for an unknown name lists the valid ones.
+	_, err = ParseMix("nope")
+	if err == nil || !strings.Contains(err.Error(), "point-lookup-heavy") {
+		t.Errorf("unknown-mix error unhelpful: %v", err)
+	}
+}
+
+func TestMixDriverAgainstMapDomain(t *testing.T) {
+	for _, mix := range Mixes() {
+		t.Run(mix.Name, func(t *testing.T) {
+			d, err := NewMixDriver(mix, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dom := newMapDomain()
+			if err := d.Steps(dom, 500); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Verify(dom); err != nil {
+				t.Fatal(err)
+			}
+			c := d.Counts()
+			if c.Total() != 500 {
+				t.Errorf("counts %+v total %d", c, c.Total())
+			}
+			// The mix shape should show up in the tallies.
+			if mix.ScanPct >= 50 && c.Scans < c.Inserts {
+				t.Errorf("scan-heavy drove %d scans vs %d inserts", c.Scans, c.Inserts)
+			}
+			if mix.InsertPct >= 50 && c.Inserts < c.Scans {
+				t.Errorf("write-burst drove %d inserts vs %d scans", c.Inserts, c.Scans)
+			}
+		})
+	}
+}
+
+func TestMixDriverDeterministicStream(t *testing.T) {
+	// Two drivers with the same seed against differently-behaving domains
+	// must issue the same operation counts (choices never depend on the
+	// domain).  The recording domain logs the op sequence for comparison.
+	type rec struct {
+		mapDomain
+		ops []string
+	}
+	run := func(prefill int) []string {
+		d, err := NewMixDriver(Mixes()[2], 7) // write-burst
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &rec{mapDomain: *newMapDomain()}
+		dom := &recDomain{inner: &r.mapDomain, ops: &r.ops}
+		if err := d.Steps(dom, 200); err != nil {
+			t.Fatal(err)
+		}
+		return r.ops
+	}
+	a, b := run(0), run(0)
+	if len(a) != len(b) {
+		t.Fatalf("streams diverge: %d vs %d ops", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// recDomain wraps a domain and records the operation stream.
+type recDomain struct {
+	inner Domain
+	ops   *[]string
+}
+
+func (r *recDomain) Put(k, v []byte) error {
+	*r.ops = append(*r.ops, fmt.Sprintf("put %s %x", k, v))
+	return r.inner.Put(k, v)
+}
+
+func (r *recDomain) Get(k []byte) ([]byte, bool, error) {
+	*r.ops = append(*r.ops, "get "+string(k))
+	return r.inner.Get(k)
+}
+
+func (r *recDomain) Delete(k []byte) (bool, error) {
+	*r.ops = append(*r.ops, "del "+string(k))
+	return r.inner.Delete(k)
+}
+
+func (r *recDomain) Range(lo, hi []byte, fn func(k, v []byte) bool) error {
+	*r.ops = append(*r.ops, fmt.Sprintf("range %s %s", lo, hi))
+	return r.inner.Range(lo, hi, fn)
+}
+
+func (r *recDomain) Check() error { return r.inner.Check() }
+
+func TestMixDriverCatchesLyingDomain(t *testing.T) {
+	// A domain that drops writes must be caught by the in-step checks.
+	d, err := NewMixDriver(Mix{Name: "x", LookupPct: 50, InsertPct: 50, Keys: 4, ValueSize: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := &lossyDomain{inner: newMapDomain()}
+	err = d.Steps(lossy, 200)
+	if err == nil {
+		t.Fatal("driver verified a write-dropping domain")
+	}
+	if !strings.Contains(err.Error(), "model") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// lossyDomain drops every write but claims success.
+type lossyDomain struct {
+	inner *mapDomain
+}
+
+func (l *lossyDomain) Put(k, v []byte) error              { return nil }
+func (l *lossyDomain) Get(k []byte) ([]byte, bool, error) { return l.inner.Get(k) }
+func (l *lossyDomain) Delete(k []byte) (bool, error)      { return l.inner.Delete(k) }
+func (l *lossyDomain) Check() error                       { return nil }
+func (l *lossyDomain) Range(lo, hi []byte, fn func(k, v []byte) bool) error {
+	return l.inner.Range(lo, hi, fn)
+}
+
+func TestMixDriverAdopt(t *testing.T) {
+	mix := Mixes()[0]
+	d, err := NewMixDriver(mix, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := newMapDomain()
+	if err := d.Steps(dom, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that lost recent writes: drop half the domain keys.
+	i := 0
+	for k := range dom.m {
+		if i%2 == 0 {
+			delete(dom.m, k)
+		}
+		i++
+	}
+	if err := d.Verify(dom); err == nil && len(dom.m) != d.ModelSize() {
+		t.Fatal("verify missed the lost keys")
+	}
+	if err := d.Adopt(dom); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(dom); err != nil {
+		t.Errorf("post-adopt verify: %v", err)
+	}
+	// Driving on from the adopted state stays consistent.
+	if err := d.Steps(dom, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(dom); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelKeysFrom(t *testing.T) {
+	d, _ := NewMixDriver(Mixes()[0], 1)
+	d.model = map[string][]byte{"a": nil, "c": nil, "b": nil, "e": nil}
+	got := d.modelKeysFrom("b", 2)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("modelKeysFrom = %v", got)
+	}
+	if got := d.modelKeysFrom("f", 5); len(got) != 0 {
+		t.Errorf("past-end seek = %v", got)
+	}
+}

@@ -49,6 +49,19 @@ func (s Spec) Validate() error {
 	if s.Objects < 2 {
 		return fmt.Errorf("workload: need >= 2 objects")
 	}
+	for _, pct := range []struct {
+		name string
+		v    int
+	}{
+		{"logical-a", s.LogicalAPct},
+		{"logical-b", s.LogicalBPct},
+		{"physio", s.PhysioPct},
+		{"delete", s.DeletePct},
+	} {
+		if pct.v < 0 {
+			return fmt.Errorf("workload: negative %s percentage %d", pct.name, pct.v)
+		}
+	}
 	if s.LogicalAPct+s.LogicalBPct+s.PhysioPct+s.DeletePct > 100 {
 		return fmt.Errorf("workload: mix percentages exceed 100")
 	}
