@@ -21,6 +21,7 @@ import (
 	"logicallog/internal/fsim"
 	"logicallog/internal/harness"
 	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 	"logicallog/internal/recovery"
 	"logicallog/internal/ship"
@@ -516,7 +517,7 @@ func BenchmarkE8ParallelRedo(b *testing.B) {
 		LogInstalls: true,
 		Registry:    op.NewRegistry(),
 	}
-	recoverObs := func(workers int, reg *obs.Registry, tracer *obs.Tracer) *recovery.Result {
+	recoverObs := func(workers int, reg *obs.Registry, tracer *obs.Tracer, fl *flight.Recorder) *recovery.Result {
 		c := cfg
 		c.Obs = reg
 		res, err := recovery.Recover(log, store, recovery.Options{
@@ -525,6 +526,7 @@ func BenchmarkE8ParallelRedo(b *testing.B) {
 			RedoWorkers: workers,
 			Obs:         reg,
 			Tracer:      tracer,
+			Flight:      fl,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -532,7 +534,7 @@ func BenchmarkE8ParallelRedo(b *testing.B) {
 		return res
 	}
 	recoverOnce := func(workers int) *recovery.Result {
-		return recoverObs(workers, nil, nil)
+		return recoverObs(workers, nil, nil, nil)
 	}
 	base := recoverOnce(1)
 	if base.Redone != objects*opsPerObject {
@@ -559,13 +561,32 @@ func BenchmarkE8ParallelRedo(b *testing.B) {
 	// disabled cost, which is a nil check per hook.
 	b.Run("workers=8/obs", func(b *testing.B) {
 		reg := obs.NewRegistry()
-		res := recoverObs(8, reg, obs.NewTracer())
+		res := recoverObs(8, reg, obs.NewTracer(), nil)
 		if res.Redone != base.Redone {
 			b.Fatalf("instrumented run redid %d ops, want %d", res.Redone, base.Redone)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			recoverObs(8, reg, obs.NewTracer())
+			recoverObs(8, reg, obs.NewTracer(), nil)
+		}
+		b.ReportMetric(float64(base.ScannedOps)*float64(b.N)/b.Elapsed().Seconds(), "redoops/sec")
+	})
+	// Flight-recorder variant: one decision event per scanned op into the
+	// lock-free ring (no spill).  Comparing against workers=8 above measures
+	// the provenance tax (DESIGN.md budgets it at under 3%); the plain runs
+	// already pay the disabled cost, a nil check per decision site.
+	b.Run("workers=8/flight", func(b *testing.B) {
+		fl := flight.NewRecorder(flight.DefaultRingSize)
+		res := recoverObs(8, nil, nil, fl)
+		if res.Redone != base.Redone {
+			b.Fatalf("flight run redid %d ops, want %d", res.Redone, base.Redone)
+		}
+		if events, _, _ := fl.Counters(); events == 0 {
+			b.Fatal("flight recorder saw no decision events")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			recoverObs(8, nil, nil, fl)
 		}
 		b.ReportMetric(float64(base.ScannedOps)*float64(b.N)/b.Elapsed().Seconds(), "redoops/sec")
 	})

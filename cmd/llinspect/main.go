@@ -6,10 +6,17 @@
 // With -timeline it instead renders the phase timeline of a recovery trace
 // produced by llrun -trace-out (Chrome trace_event JSON).
 //
+// With -flight it also loads a flight-recorder spill file (llrun -flight):
+// record lines gain provenance annotations (canceled absorptions), -explain
+// reconstructs the full decision chain for one LSN, and -forensics renders
+// the post-crash forensic timeline (flight decisions merged with the trace).
+//
 // Usage:
 //
-//	llinspect [-from LSN] path/to/db.wal
+//	llinspect [-from LSN] [-flight spill.bin] path/to/db.wal
+//	llinspect -explain LSN [-flight spill.bin] path/to/db.wal
 //	llinspect -timeline trace.json
+//	llinspect -forensics -flight spill.bin [-timeline trace.json]
 package main
 
 import (
@@ -20,7 +27,9 @@ import (
 	"os"
 	"strings"
 
+	"logicallog/internal/forensics"
 	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 	"logicallog/internal/wal"
 )
@@ -28,34 +37,77 @@ import (
 func main() {
 	from := flag.Uint64("from", 0, "first LSN to print")
 	timeline := flag.String("timeline", "", "render the recovery timeline of a Chrome trace_event JSON file (from llrun -trace-out)")
+	flightPath := flag.String("flight", "", "flight-recorder spill file (from llrun -flight); enables provenance annotations")
+	explain := flag.Uint64("explain", 0, "explain the redo decision for this LSN instead of dumping the log")
+	renderForensics := flag.Bool("forensics", false, "render the forensic timeline from -flight (merged with -timeline when given)")
 	flag.Parse()
-	if *timeline != "" {
-		if err := renderTimeline(*timeline); err != nil {
-			fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
-			os.Exit(1)
+
+	var events []flight.Event
+	if *flightPath != "" {
+		var err error
+		events, err = flight.ReadSpill(*flightPath)
+		if err != nil {
+			fatal(err)
 		}
+	}
+
+	if *renderForensics {
+		if *flightPath == "" {
+			fmt.Fprintln(os.Stderr, "llinspect: -forensics requires -flight")
+			os.Exit(2)
+		}
+		var trace []obs.Event
+		if *timeline != "" {
+			var err error
+			trace, err = readTrace(*timeline)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		obs.RenderTimeline(os.Stdout, forensics.MergeTimeline(events, trace))
+		fmt.Print(forensics.Dump(events, 40))
+		return
+	}
+	if *timeline != "" {
+		trace, err := readTrace(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		obs.RenderTimeline(os.Stdout, trace)
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: llinspect [-from LSN] <wal file> | llinspect -timeline <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: llinspect [-from LSN] [-explain LSN] [-flight spill] <wal file> | llinspect -timeline <trace.json> | llinspect -forensics -flight <spill>")
 		os.Exit(2)
 	}
 	dev, err := wal.OpenFileDevice(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer dev.Close()
 	log, err := wal.New(dev)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
+
+	if *explain != 0 {
+		recs, err := forensics.ScanAll(log, log.FirstLSN())
+		if err != nil {
+			fatal(err)
+		}
+		x, err := forensics.Explain(recs, events, op.SI(*explain))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(x)
+		return
+	}
+
 	sc, err := log.Scan(op.SI(*from))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	canceled := canceledAbsorptions(events)
 	count := 0
 	for {
 		rec, err := sc.Next()
@@ -63,32 +115,49 @@ func main() {
 			break
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		printRecord(rec)
+		printRecord(rec, canceled)
 		count++
 	}
 	fmt.Printf("-- %d records (stable LSN %d, first LSN %d)\n", count, log.StableLSN(), log.FirstLSN())
 }
 
-// renderTimeline loads a Chrome trace_event file and prints the text phase
-// timeline (per-lane spans with proportional bars, then phase totals).
-func renderTimeline(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	events, err := obs.ReadChromeTrace(f)
-	if err != nil {
-		return err
-	}
-	obs.RenderTimeline(os.Stdout, events)
-	return nil
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "llinspect: %v\n", err)
+	os.Exit(1)
 }
 
-func printRecord(rec *wal.Record) {
+// readTrace loads a Chrome trace_event file.
+func readTrace(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadChromeTrace(f)
+}
+
+// canceledAbsorptions collects, per LSN, the observer horizon that canceled
+// a pending absorption of that record.  A canceled absorption leaves the
+// record in the log as a normal operation — indistinguishable from one that
+// was never an elision candidate — so the annotation is the only place the
+// near-miss shows up.
+func canceledAbsorptions(events []flight.Event) map[op.SI]op.SI {
+	var m map[op.SI]op.SI
+	for _, ev := range events {
+		if ev.Kind != flight.KindAbsorbCancel {
+			continue
+		}
+		if m == nil {
+			m = make(map[op.SI]op.SI)
+		}
+		m[ev.LSN] = ev.Ref
+	}
+	return m
+}
+
+func printRecord(rec *wal.Record, canceled map[op.SI]op.SI) {
 	switch rec.Type {
 	case wal.RecOperation:
 		o := rec.Op
@@ -102,6 +171,9 @@ func printRecord(rec *wal.Record) {
 			}
 			extra = " values{" + strings.Join(sizes, " ") + "}"
 		}
+		if observer, ok := canceled[rec.LSN]; ok {
+			extra += fmt.Sprintf(" [absorb-canceled: observer at LSN %d]", observer)
+		}
 		fmt.Printf("%8d  op     %s%s\n", rec.LSN, o, extra)
 	case wal.RecInstall:
 		fmt.Printf("%8d  install flushed=%s unflushed=%s ops=%v\n",
@@ -109,7 +181,7 @@ func printRecord(rec *wal.Record) {
 	case wal.RecFlush:
 		fmt.Printf("%8d  flush  %s vSI=%d\n", rec.LSN, rec.Flush.Object, rec.Flush.VSI)
 	case wal.RecAbsorbed:
-		fmt.Printf("%8d  absorb %s elided=%dB\n", rec.LSN, rec.Absorbed.Object, rec.Absorbed.Elided)
+		fmt.Printf("%8d  absorb %s by=%d elided=%dB\n", rec.LSN, rec.Absorbed.Object, rec.Absorbed.By, rec.Absorbed.Elided)
 	case wal.RecCheckpoint:
 		var parts []string
 		for _, d := range rec.Checkpoint.Dirty {

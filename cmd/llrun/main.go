@@ -6,7 +6,7 @@
 //
 //	llrun [-steps N] [-seed S] [-scenario mix] [-wal path] [-physio] [-w] [-vsi]
 //	      [-faults token] [-standby] [-ship-batch R]
-//	      [-trace-out trace.json] [-metrics] [-debug-addr host:port]
+//	      [-trace-out trace.json] [-flight spill.bin] [-metrics] [-debug-addr host:port]
 //	      [-cpuprofile p] [-memprofile p] [-runtime-trace p]
 package main
 
@@ -22,6 +22,7 @@ import (
 	"logicallog/internal/core"
 	"logicallog/internal/fault"
 	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/recovery"
 	"logicallog/internal/ship"
 	"logicallog/internal/sim"
@@ -45,6 +46,7 @@ func main() {
 	standby := flag.Bool("standby", false, "ship the log to a warm standby during the run and promote it after the crash (llship is the full demo)")
 	shipBatch := flag.Int("ship-batch", 16, "ship batch size in records (with -standby)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON of the recovery pipeline to this path")
+	flightOut := flag.String("flight", "", "record decision provenance to this crash-surviving flight spill file (inspect with llinspect -flight)")
 	metrics := flag.Bool("metrics", false, "print the unified metrics snapshot (and recovery timeline) after the run")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, and /metrics on this address")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
@@ -111,6 +113,19 @@ func main() {
 	}
 	defer dev.Close()
 	opts.LogDevice = plan.WrapDevice(dev)
+	var flightRec *flight.Recorder
+	if *flightOut != "" {
+		var recovered []flight.Event
+		flightRec, recovered, err = flight.OpenSpill(*flightOut, flight.DefaultRingSize)
+		if err != nil {
+			fatal(err)
+		}
+		defer flightRec.Close()
+		if len(recovered) > 0 {
+			fmt.Printf("flight recorder resumed after %d spilled events (torn tail trimmed if any)\n", len(recovered))
+		}
+		opts.Flight = flightRec
+	}
 	if *scenario != "" {
 		// The shared registry lets a -standby engine resolve the domain
 		// transforms before the first shipped record arrives.
@@ -146,7 +161,7 @@ func main() {
 			fatal(err)
 		}
 		// The link shares the fault plan, so ship@N tokens hit the wire.
-		sender = ship.NewSender(eng.Log(), ship.NewLink(sb, plan), 1, ship.SenderConfig{BatchRecords: *shipBatch, Obs: reg, Tracer: tracer})
+		sender = ship.NewSender(eng.Log(), ship.NewLink(sb, plan), 1, ship.SenderConfig{BatchRecords: *shipBatch, Obs: reg, Tracer: tracer, Flight: flightRec})
 		defer sender.Close()
 		sc.StepHook = func(int) error { return sender.PumpAll() }
 	}
@@ -257,6 +272,12 @@ func main() {
 			fatal(err)
 		}
 		obs.RenderTimeline(os.Stdout, tracer.Events())
+	}
+	if flightRec != nil {
+		if err := flightRec.Sync(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flight spill left at %s (explain a decision: llinspect -flight %s -explain LSN %s)\n", *flightOut, *flightOut, path)
 	}
 	fmt.Printf("WAL left at %s (inspect with llinspect)\n", path)
 }

@@ -11,6 +11,7 @@ import (
 
 	"logicallog/internal/cache"
 	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 	"logicallog/internal/recovery"
 	"logicallog/internal/stable"
@@ -70,6 +71,12 @@ type Options struct {
 	// Tracer, when non-nil, records phase spans of the recovery pipeline
 	// for Chrome/Perfetto trace export and timeline rendering.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, is the decision flight recorder: every redo
+	// decision, absorption supersession/cancel, stream merge, ship batch
+	// outcome, and checkpoint/truncation horizon move is recorded (and
+	// optionally spilled to a crash-tolerant file) for post-hoc forensics
+	// with llinspect -explain / -forensics.  Nil disables it at ~0 cost.
+	Flight *flight.Recorder
 }
 
 // defaultTransientRetries is the retry budget when Options leaves
@@ -125,6 +132,7 @@ func New(opts Options) (*Engine, error) {
 	}
 	log.SetRetryPolicy(opts.TransientRetries, 20*time.Microsecond, 500*time.Microsecond)
 	log.SetObs(opts.Obs)
+	log.SetFlight(opts.Flight)
 	log.SetStreams(opts.LogStreams, opts.AbsorbWrites)
 	e := &Engine{opts: opts, reg: opts.Registry, log: log, store: stable.NewStore()}
 	e.mgr, err = cache.NewManager(e.cacheConfig(), log, e.store)
@@ -153,6 +161,7 @@ func Adopt(opts Options, log *wal.Log, store *stable.Store) (*Engine, *recovery.
 	}
 	log.SetRetryPolicy(opts.TransientRetries, 20*time.Microsecond, 500*time.Microsecond)
 	log.SetObs(opts.Obs)
+	log.SetFlight(opts.Flight)
 	log.SetStreams(opts.LogStreams, opts.AbsorbWrites)
 	e := &Engine{opts: opts, reg: opts.Registry, log: log, store: store}
 	res, err := recovery.Recover(log, store, recovery.Options{
@@ -161,6 +170,7 @@ func Adopt(opts Options, log *wal.Log, store *stable.Store) (*Engine, *recovery.
 		RedoWorkers: opts.RedoWorkers,
 		Tracer:      opts.Tracer,
 		Obs:         opts.Obs,
+		Flight:      opts.Flight,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -277,12 +287,26 @@ func (e *Engine) FlushAll() error {
 	return e.mgr.PurgeAll()
 }
 
-// Checkpoint writes a checkpoint record and truncates the log.
+// Checkpoint writes a checkpoint record and truncates the log.  The same
+// steps as cache.CheckpointAndTruncate, inlined so the flight recorder
+// sees both horizon moves: the checkpoint landing and the truncation
+// point the dirty table then justifies.
 func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	_, err := e.mgr.CheckpointAndTruncate()
-	return err
+	lsn, err := e.mgr.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if e.opts.Flight != nil {
+		e.opts.Flight.Checkpoint(lsn, int64(len(e.mgr.DirtyTable())))
+	}
+	tp := e.mgr.TruncationPoint(lsn)
+	if err := e.log.Truncate(tp); err != nil {
+		return err
+	}
+	e.opts.Flight.Truncate(tp)
+	return nil
 }
 
 // CheckpointOnly writes (and forces) a checkpoint record without truncating
@@ -291,8 +315,14 @@ func (e *Engine) Checkpoint() error {
 func (e *Engine) CheckpointOnly() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	_, err := e.mgr.Checkpoint()
-	return err
+	lsn, err := e.mgr.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if e.opts.Flight != nil {
+		e.opts.Flight.Checkpoint(lsn, int64(len(e.mgr.DirtyTable())))
+	}
+	return nil
 }
 
 // Crash simulates a crash: the unforced log tail, the cache, and the write
@@ -315,6 +345,7 @@ func (e *Engine) Recover() (*recovery.Result, error) {
 		RedoWorkers: e.opts.RedoWorkers,
 		Tracer:      e.opts.Tracer,
 		Obs:         e.opts.Obs,
+		Flight:      e.opts.Flight,
 	})
 	if err != nil {
 		return nil, err
@@ -361,6 +392,12 @@ func (e *Engine) Metrics() obs.Snapshot {
 	s := e.opts.Obs.Snapshot()
 	st := Stats{Log: e.log.Stats(), Store: e.store.Stats(), Cache: e.mgr.Stats()}
 	mergeStats(&s, st)
+	if e.opts.Flight != nil {
+		events, drops, spilled := e.opts.Flight.Counters()
+		s.Counters["flight.events"] = events
+		s.Counters["flight.ring_drops"] = drops
+		s.Counters["flight.spill_bytes"] = spilled
+	}
 	return s
 }
 

@@ -155,6 +155,9 @@ func ValidateReport(r *Report) error {
 				return err
 			}
 		}
+		if err := validateFlightMetrics(e); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -213,6 +216,53 @@ func validateDomainMetrics(e ExperimentResult) error {
 			e.ID, e.Metrics.Counters["domain.logical_bytes"], e.Metrics.Counters["domain.physio_bytes"])
 	}
 	return nil
+}
+
+// validateFlightMetrics checks the decision-provenance families in any
+// experiment's snapshot.  Both are optional — a run without a flight
+// recorder (or metrics registry) carries neither — but once any counter of
+// a family is present the family must be complete: the flight.* trio must
+// agree with itself (the ring cannot drop more events than were emitted),
+// and the recovery.decide.* quartet must all be reported so consumers can
+// sum decisions without guessing at absent kinds.
+func validateFlightMetrics(e ExperimentResult) error {
+	flightFamily := []string{"flight.events", "flight.ring_drops", "flight.spill_bytes"}
+	if hasAnyCounter(e, flightFamily) {
+		for _, c := range flightFamily {
+			if _, ok := e.Metrics.Counters[c]; !ok {
+				return fmt.Errorf("harness: %s: metrics missing counter %q", e.ID, c)
+			}
+			if e.Metrics.Counters[c] < 0 {
+				return fmt.Errorf("harness: %s: counter %q is negative", e.ID, c)
+			}
+		}
+		if e.Metrics.Counters["flight.ring_drops"] > e.Metrics.Counters["flight.events"] {
+			return fmt.Errorf("harness: %s: flight.ring_drops (%d) exceeds flight.events (%d)",
+				e.ID, e.Metrics.Counters["flight.ring_drops"], e.Metrics.Counters["flight.events"])
+		}
+	}
+	decideFamily := []string{"recovery.decide.redo", "recovery.decide.skip_installed",
+		"recovery.decide.skip_unexposed", "recovery.decide.voided"}
+	if hasAnyCounter(e, decideFamily) {
+		for _, c := range decideFamily {
+			if _, ok := e.Metrics.Counters[c]; !ok {
+				return fmt.Errorf("harness: %s: metrics missing counter %q", e.ID, c)
+			}
+			if e.Metrics.Counters[c] < 0 {
+				return fmt.Errorf("harness: %s: counter %q is negative", e.ID, c)
+			}
+		}
+	}
+	return nil
+}
+
+func hasAnyCounter(e ExperimentResult, names []string) bool {
+	for _, c := range names {
+		if _, ok := e.Metrics.Counters[c]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // validateShipMetrics checks the replication metrics consumers read from an

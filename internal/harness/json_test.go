@@ -256,3 +256,71 @@ func TestRunReportRealExperiment(t *testing.T) {
 		t.Errorf("E1 metrics missing wal.append.ns: %v", m.Histograms)
 	}
 }
+
+// TestValidateReportFlightMetrics pins the decision-provenance metric
+// contract: any experiment snapshot carrying a flight.* or recovery.decide.*
+// counter must carry that family completely, with a self-consistent ring
+// (drops never exceed emitted events).
+func TestValidateReportFlightMetrics(t *testing.T) {
+	flightMetrics := func() obs.Snapshot {
+		return obs.Snapshot{
+			Counters: map[string]int64{
+				"flight.events":                  120,
+				"flight.ring_drops":              8,
+				"flight.spill_bytes":             4096,
+				"recovery.decide.redo":           40,
+				"recovery.decide.skip_installed": 12,
+				"recovery.decide.skip_unexposed": 3,
+				"recovery.decide.voided":         0,
+			},
+		}
+	}
+	good := func() *Report {
+		tbl := &Table{ID: "E8", Title: "redo", Columns: []string{"a"}}
+		tbl.AddRow(1)
+		return &Report{
+			Schema:    ReportSchema,
+			GoVersion: "go0.0",
+			Experiments: []ExperimentResult{{
+				ID: "E8", Name: "redo", Table: tableResult(tbl), Metrics: flightMetrics(),
+			}},
+		}
+	}
+	if err := ValidateReport(good()); err != nil {
+		t.Fatalf("complete flight metrics rejected: %v", err)
+	}
+	// An empty snapshot (no recorder attached) stays valid, and so does a
+	// snapshot carrying only one of the two families.
+	r := good()
+	r.Experiments[0].Metrics = obs.Snapshot{}
+	if err := ValidateReport(r); err != nil {
+		t.Errorf("empty snapshot rejected: %v", err)
+	}
+	r = good()
+	for _, c := range []string{"recovery.decide.redo", "recovery.decide.skip_installed",
+		"recovery.decide.skip_unexposed", "recovery.decide.voided"} {
+		delete(r.Experiments[0].Metrics.Counters, c)
+	}
+	if err := ValidateReport(r); err != nil {
+		t.Errorf("flight-only snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*obs.Snapshot)
+		want   string
+	}{
+		{"missing flight counter", func(s *obs.Snapshot) { delete(s.Counters, "flight.ring_drops") }, "flight.ring_drops"},
+		{"missing spill counter", func(s *obs.Snapshot) { delete(s.Counters, "flight.spill_bytes") }, "flight.spill_bytes"},
+		{"missing decide counter", func(s *obs.Snapshot) { delete(s.Counters, "recovery.decide.voided") }, "recovery.decide.voided"},
+		{"negative counter", func(s *obs.Snapshot) { s.Counters["flight.events"] = -1 }, "negative"},
+		{"drops exceed events", func(s *obs.Snapshot) { s.Counters["flight.ring_drops"] = 500 }, "exceeds"},
+	}
+	for _, c := range cases {
+		r := good()
+		c.mutate(&r.Experiments[0].Metrics)
+		err := ValidateReport(r)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}

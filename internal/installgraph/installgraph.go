@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"logicallog/internal/graph"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 )
 
@@ -58,7 +59,14 @@ type Graph struct {
 	order []op.SI // history in conflict (LSN) order
 	g     *graph.Digraph
 	kinds map[[2]op.SI]EdgeKind
+
+	// fl, when set via SetFlight, records every ValueAfter resolution —
+	// which writer's value the oracle projected per object (nil-safe).
+	fl *flight.Recorder
 }
+
+// SetFlight attaches a decision flight recorder; nil detaches it.
+func (ig *Graph) SetFlight(r *flight.Recorder) { ig.fl = r }
 
 // Build constructs the installation graph for the given history, which must
 // be in conflict (ascending LSN) order with LSNs assigned and unique.
@@ -255,6 +263,7 @@ func (ig *Graph) ValueAfter(reg *op.Registry, I PrefixSet, initial map[op.Object
 			state[x] = v
 			if I[l] {
 				result[x] = v
+				ig.fl.ValueResolve(l, x)
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"sync"
 )
 
 // ServeDebug starts an HTTP debug endpoint on addr (e.g. "localhost:6060")
@@ -48,16 +49,16 @@ func ServeDebug(addr string, snapshot func() Snapshot) (net.Listener, error) {
 	return ln, nil
 }
 
-var expvarPublished = false
+var expvarOnce sync.Once
 
 // publishExpvar registers the metrics snapshot under expvar once per
-// process (expvar panics on duplicate names).
+// process (expvar panics on duplicate names).  sync.Once, not a plain flag:
+// two ServeDebug calls racing on different listeners must not double-publish
+// or tear the guard.
 func publishExpvar(snapshot func() Snapshot) {
-	if expvarPublished {
-		return
-	}
-	expvarPublished = true
-	expvar.Publish("llmetrics", expvar.Func(func() any { return snapshot() }))
+	expvarOnce.Do(func() {
+		expvar.Publish("llmetrics", expvar.Func(func() any { return snapshot() }))
+	})
 }
 
 // Profiles runs CPU/heap profiling and the Go runtime execution tracer for

@@ -1,0 +1,82 @@
+package obs_test
+
+// External-package test: the expvar/debug endpoint snapshots a live engine
+// while another goroutine resets its statistics.  The snapshot path reads
+// every counter source the engine merges (registry, log, store, cache,
+// flight recorder), so this is the test that catches an unguarded stats
+// field the moment someone adds one.  Run with -race.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"logicallog/internal/core"
+	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
+	"logicallog/internal/op"
+)
+
+func TestServeDebugSnapshotRacesResetStats(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Obs = obs.NewRegistry()
+	opts.Flight = flight.NewRecorder(256)
+	eng, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := obs.ServeDebug("127.0.0.1:0", eng.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// A concurrent second ServeDebug must not double-publish the expvar.
+	ln2, err := obs.ServeDebug("127.0.0.1:0", eng.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+
+	const rounds = 50
+	var wg sync.WaitGroup
+	get := func(url string) {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Errorf("get %s: %v", url, err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	wg.Add(4)
+	go get(fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	go get(fmt.Sprintf("http://%s/debug/vars", ln.Addr()))
+	go get(fmt.Sprintf("http://%s/metrics", ln2.Addr()))
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			eng.ResetStats()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			o := op.NewPhysioWrite("x", op.FuncAppend, []byte{byte(i)})
+			if i == 0 {
+				o = op.NewCreate("x", []byte{0})
+			}
+			if err := eng.Execute(o); err != nil {
+				t.Errorf("execute: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

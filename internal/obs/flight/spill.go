@@ -1,0 +1,253 @@
+package flight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"logicallog/internal/op"
+)
+
+// Spill-file format: a sequence of independent frames, each
+//
+//	u32le payload length | u32le CRC32-C of payload | payload
+//
+// with the payload a varint encoding of one Event (seq, at-ns, kind,
+// dec, lsn, ref, object, n, actor).  Frames are self-delimiting and
+// checksummed so a reopen can apply the WAL's torn-tail rule: scan
+// frames from the start, stop at the first incomplete frame, checksum
+// mismatch, or undecodable payload, and truncate the file back to the
+// last good frame.  Everything before the torn tail survives the crash.
+
+const spillFrameOverhead = 8
+
+// spillFlushThreshold bounds the pending-encode buffer; emission under
+// foreign mutexes only pays a file write when a batch has accumulated.
+const spillFlushThreshold = 32 << 10
+
+var spillCRC = crc32.MakeTable(crc32.Castagnoli)
+
+type spillFile struct {
+	f   *os.File
+	buf []byte
+}
+
+func appendSpillFrame(dst []byte, ev *Event) []byte {
+	var p []byte
+	p = binary.AppendUvarint(p, ev.Seq)
+	p = binary.AppendUvarint(p, uint64(ev.At))
+	p = append(p, byte(ev.Kind), byte(ev.Dec))
+	p = binary.AppendUvarint(p, uint64(ev.LSN))
+	p = binary.AppendUvarint(p, uint64(ev.Ref))
+	p = binary.AppendUvarint(p, uint64(len(ev.Object)))
+	p = append(p, ev.Object...)
+	p = binary.AppendVarint(p, ev.N)
+	p = binary.AppendUvarint(p, uint64(len(ev.Actor)))
+	p = append(p, ev.Actor...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(p, spillCRC))
+	return append(dst, p...)
+}
+
+// decodeSpillEvent decodes one frame payload; any leftover or truncated
+// field is an error (the caller treats it as a torn tail).
+func decodeSpillEvent(p []byte) (Event, error) {
+	var ev Event
+	u := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("flight: spill varint truncated")
+		}
+		p = p[n:]
+		return v, nil
+	}
+	seq, err := u()
+	if err != nil {
+		return ev, err
+	}
+	at, err := u()
+	if err != nil {
+		return ev, err
+	}
+	if len(p) < 2 {
+		return ev, fmt.Errorf("flight: spill kind/dec truncated")
+	}
+	ev.Seq, ev.At = seq, time.Duration(at)
+	ev.Kind, ev.Dec = Kind(p[0]), Decision(p[1])
+	p = p[2:]
+	lsn, err := u()
+	if err != nil {
+		return ev, err
+	}
+	ref, err := u()
+	if err != nil {
+		return ev, err
+	}
+	ev.LSN, ev.Ref = op.SI(lsn), op.SI(ref)
+	olen, err := u()
+	if err != nil {
+		return ev, err
+	}
+	if uint64(len(p)) < olen {
+		return ev, fmt.Errorf("flight: spill object truncated")
+	}
+	ev.Object = op.ObjectID(p[:olen])
+	p = p[olen:]
+	n, w := binary.Varint(p)
+	if w <= 0 {
+		return ev, fmt.Errorf("flight: spill n truncated")
+	}
+	ev.N = n
+	p = p[w:]
+	alen, err := u()
+	if err != nil {
+		return ev, err
+	}
+	if uint64(len(p)) != alen {
+		return ev, fmt.Errorf("flight: spill actor length mismatch")
+	}
+	ev.Actor = string(p)
+	return ev, nil
+}
+
+// scanSpill walks the frame sequence in data and returns the decoded
+// events plus the byte length of the good prefix; decoding stops (without
+// error) at the first torn frame.
+func scanSpill(data []byte) ([]Event, int) {
+	var out []Event
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < spillFrameOverhead {
+			return out, off
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if len(rest) < spillFrameOverhead+plen {
+			return out, off
+		}
+		payload := rest[spillFrameOverhead : spillFrameOverhead+plen]
+		if crc32.Checksum(payload, spillCRC) != sum {
+			return out, off
+		}
+		ev, err := decodeSpillEvent(payload)
+		if err != nil {
+			return out, off
+		}
+		out = append(out, ev)
+		off += spillFrameOverhead + plen
+	}
+}
+
+// OpenSpill opens (creating if absent) a crash-tolerant spill file,
+// trims any torn tail, and returns a recorder that appends subsequent
+// events to it, plus the events that survived from earlier runs.  The
+// new recorder's sequence numbers continue after the recovered ones.
+func OpenSpill(path string, ringSize int) (*Recorder, []Event, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("flight: open spill: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("flight: read spill: %w", err)
+	}
+	prior, good := scanSpill(data)
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("flight: trim spill torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("flight: seek spill: %w", err)
+	}
+	r := NewRecorder(ringSize)
+	r.spill = &spillFile{f: f}
+	r.spillOn.Store(true)
+	r.spillBytes.Store(int64(good))
+	if n := len(prior); n > 0 {
+		r.seq.Store(prior[n-1].Seq + 1)
+	}
+	return r, prior, nil
+}
+
+// ReadSpill loads the surviving events from a spill file without
+// attaching to it (the llinspect path); a torn tail is silently ignored.
+func ReadSpill(path string) ([]Event, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: read spill: %w", err)
+	}
+	evs, _ := scanSpill(data)
+	return evs, nil
+}
+
+// spillAppend buffers one encoded frame, flushing to the file once a
+// batch has accumulated.
+func (r *Recorder) spillAppend(ev *Event) {
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	if r.spill == nil {
+		return
+	}
+	r.spill.buf = appendSpillFrame(r.spill.buf, ev)
+	if len(r.spill.buf) >= spillFlushThreshold {
+		r.flushLocked()
+	}
+}
+
+// flushLocked writes the pending buffer; spillMu held.  Write errors
+// drop the batch rather than wedging emitters — the recorder observes,
+// it must never fail the flight it is recording.
+func (r *Recorder) flushLocked() {
+	if len(r.spill.buf) == 0 {
+		return
+	}
+	n, err := r.spill.f.Write(r.spill.buf)
+	if err != nil {
+		// A partial frame at the tail is exactly what the torn-tail
+		// trim handles on reopen.
+		r.spillBytes.Add(int64(n))
+		r.spill.buf = r.spill.buf[:0]
+		return
+	}
+	r.spillBytes.Add(int64(n))
+	r.spill.buf = r.spill.buf[:0]
+}
+
+// Sync flushes buffered frames and forces them to stable storage.
+func (r *Recorder) Sync() error {
+	if r == nil {
+		return nil
+	}
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	if r.spill == nil {
+		return nil
+	}
+	r.flushLocked()
+	return r.spill.f.Sync()
+}
+
+// Close flushes and closes the spill file; the ring stays readable.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.spillOn.Store(false)
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	if r.spill == nil {
+		return nil
+	}
+	r.flushLocked()
+	err := r.spill.f.Close()
+	r.spill = nil
+	return err
+}

@@ -147,19 +147,21 @@ func redoChain(mgr *cache.Manager, dot dirtyTable, opts Options, traceMu *sync.M
 		sp.Arg("ops", len(chain)).Arg("first_lsn", int64(chain[0].LSN)).
 			Arg("redone", c.redone).Arg("voided", c.voided).End()
 	}()
+	dc := newDecideCounters(opts.Obs)
 	for _, o := range chain {
 		if stop.Load() {
 			return c, nil
 		}
-		redo, installedWitness := redoDecision(opts.Test, mgr, dot, o)
-		if !redo {
-			if installedWitness {
+		ex := DecideRedoExplain(opts.Test, mgr, dot, o)
+		if !ex.Redo {
+			if ex.InstalledWitness {
 				c.skippedInstalled++
 				traceLocked(opts, traceMu, o, "skip-installed")
 			} else {
 				c.skippedUnexposed++
 				traceLocked(opts, traceMu, o, "skip-unexposed")
 			}
+			dc.skip(opts.Flight, "recovery", o.LSN, ex)
 			continue
 		}
 		voided, err := mgr.TryApplyLogged(o.Clone())
@@ -173,6 +175,7 @@ func redoChain(mgr *cache.Manager, dot dirtyTable, opts Options, traceMu *sync.M
 			c.redone++
 			traceLocked(opts, traceMu, o, "redo")
 		}
+		dc.applied(opts.Flight, "recovery", o.LSN, ex, voided)
 	}
 	return c, nil
 }

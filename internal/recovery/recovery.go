@@ -25,6 +25,7 @@ import (
 
 	"logicallog/internal/cache"
 	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 	"logicallog/internal/stable"
 	"logicallog/internal/wal"
@@ -80,8 +81,12 @@ type Options struct {
 	Tracer *obs.Tracer
 	// Obs, when non-nil, receives recovery metrics: the dependency-chain
 	// count and per-chain operation-count distribution of the parallel redo
-	// partitioner.
+	// partitioner, plus the recovery.decide.* decision family.
 	Obs *obs.Registry
+	// Flight, when non-nil, records every redo decision (with its witness
+	// or dirty-table reason) in the flight recorder for post-hoc forensics
+	// (llinspect -explain).  Observational only; never feeds replay.
+	Flight *flight.Recorder
 }
 
 // Result reports what recovery did.
@@ -196,6 +201,7 @@ func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 			Arg("skipped_unexposed", res.SkippedUnexposed).
 			Arg("voided", res.Voided).End()
 	}()
+	dc := newDecideCounters(opts.Obs)
 	for {
 		rec, err := sc.Next()
 		if errors.Is(err, io.EOF) {
@@ -209,15 +215,16 @@ func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 		}
 		res.ScannedOps++
 		o := rec.Op
-		redo, installedWitness := redoDecision(opts.Test, mgr, dot, o)
-		if !redo {
-			if installedWitness {
+		ex := DecideRedoExplain(opts.Test, mgr, dot, o)
+		if !ex.Redo {
+			if ex.InstalledWitness {
 				res.SkippedInstalled++
 				trace(opts, o, "skip-installed")
 			} else {
 				res.SkippedUnexposed++
 				trace(opts, o, "skip-unexposed")
 			}
+			dc.skip(opts.Flight, "recovery", o.LSN, ex)
 			continue
 		}
 		voided, err := mgr.TryApplyLogged(o.Clone())
@@ -231,8 +238,51 @@ func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 			res.Redone++
 			trace(opts, o, "redo")
 		}
+		dc.applied(opts.Flight, "recovery", o.LSN, ex, voided)
 	}
 	return res, nil
+}
+
+// decideCounters bundles the recovery.decide.* metric family with the
+// flight-recorder emission for one redo pass; handles are resolved once
+// per Recover (or standby) so the per-decision cost with observability
+// disabled stays a nil check.
+type decideCounters struct {
+	redo, skipInstalled, skipUnexposed, voided *obs.Counter
+}
+
+func newDecideCounters(reg *obs.Registry) decideCounters {
+	return decideCounters{
+		redo:          reg.Counter("recovery.decide.redo"),
+		skipInstalled: reg.Counter("recovery.decide.skip_installed"),
+		skipUnexposed: reg.Counter("recovery.decide.skip_unexposed"),
+		voided:        reg.Counter("recovery.decide.voided"),
+	}
+}
+
+// skip records a non-redo decision: the installed witness (object and its
+// current vSI) or the unexposed/clean verdict.
+func (dc decideCounters) skip(fl *flight.Recorder, actor string, lsn op.SI, ex RedoExplanation) {
+	if ex.InstalledWitness {
+		dc.skipInstalled.Inc()
+		fl.RedoDecision(actor, lsn, flight.DecSkipInstalled, ex.WitnessObject, ex.WitnessVSI)
+	} else {
+		dc.skipUnexposed.Inc()
+		fl.RedoDecision(actor, lsn, flight.DecSkipUnexposed, "", op.NilSI)
+	}
+}
+
+// applied records the outcome of an attempted redo: replayed, or voided
+// by the trial execution.  The dirty-table entry that exposed the record
+// rides along as the reason.
+func (dc decideCounters) applied(fl *flight.Recorder, actor string, lsn op.SI, ex RedoExplanation, voided bool) {
+	if voided {
+		dc.voided.Inc()
+		fl.RedoDecision(actor, lsn, flight.DecVoided, ex.DirtyObject, ex.DirtyRSI)
+	} else {
+		dc.redo.Inc()
+		fl.RedoDecision(actor, lsn, flight.DecRedo, ex.DirtyObject, ex.DirtyRSI)
+	}
 }
 
 // analyze reconstructs the dirty object table from the most recent
@@ -333,25 +383,54 @@ func redoDecision(test RedoTest, mgr *cache.Manager, dot dirtyTable, o *op.Opera
 	return DecideRedo(test, mgr, dot, o)
 }
 
+// RedoExplanation is a REDO decision with its evidence: the witness that
+// proved the operation installed, or the dirty-table entry that exposed
+// it.  It is what the flight recorder persists and `llinspect -explain`
+// renders.
+type RedoExplanation struct {
+	// Redo is the verdict: replay the operation.
+	Redo bool
+	// InstalledWitness reports a skip justified by manifest installation;
+	// WitnessObject then names the written object whose current version
+	// WitnessVSI is at or past the record's lSI.
+	InstalledWitness bool
+	WitnessObject    op.ObjectID
+	WitnessVSI       op.SI
+	// DirtyObject, on a redo under TestRSI, names the written object the
+	// dirty table exposed (its rSI at or below the record's lSI); DirtyRSI
+	// is that rSI.  Empty for TestRedoAll/TestVSI redos, which need no
+	// dirty-table evidence.
+	DirtyObject op.ObjectID
+	DirtyRSI    op.SI
+}
+
 // DecideRedo evaluates the REDO test for o against the given state — the
 // recovering engine's during crash recovery, or a warm standby's as shipped
 // records arrive (replication is recovery that never stops).  It returns
 // whether to redo, and (when not redoing) whether the skip was justified by
 // an installed witness (vSI) as opposed to unexposed/clean reasoning (rSI).
 func DecideRedo(test RedoTest, mgr *cache.Manager, dot map[op.ObjectID]op.SI, o *op.Operation) (redo, installedWitness bool) {
+	ex := DecideRedoExplain(test, mgr, dot, o)
+	return ex.Redo, ex.InstalledWitness
+}
+
+// DecideRedoExplain is DecideRedo returning the full evidence for the
+// verdict.  Same predicate, same order of tests; DecideRedo delegates
+// here.
+func DecideRedoExplain(test RedoTest, mgr *cache.Manager, dot map[op.ObjectID]op.SI, o *op.Operation) RedoExplanation {
 	if test == TestRedoAll {
-		return true, false
+		return RedoExplanation{Redo: true}
 	}
 	// Manifest installation: atomic installation of writeset(Op) means one
 	// object with vSI >= lSI proves Op installed.  This also protects
 	// exposed objects from being reset by a spurious redo.
 	for _, x := range o.WriteSet {
-		if mgr.CurrentVSI(x) >= o.LSN {
-			return false, true
+		if vsi := mgr.CurrentVSI(x); vsi >= o.LSN {
+			return RedoExplanation{InstalledWitness: true, WitnessObject: x, WitnessVSI: vsi}
 		}
 	}
 	if test == TestVSI {
-		return true, false
+		return RedoExplanation{Redo: true}
 	}
 	// Generalized test: redo iff some written object is both possibly
 	// uninstalled (lSI >= rSI) and exposed (lSI > vSI; already established
@@ -360,8 +439,8 @@ func DecideRedo(test RedoTest, mgr *cache.Manager, dot map[op.ObjectID]op.SI, o 
 	for _, x := range o.WriteSet {
 		rsi, dirty := dot[x]
 		if dirty && o.LSN >= rsi {
-			return true, false
+			return RedoExplanation{Redo: true, DirtyObject: x, DirtyRSI: rsi}
 		}
 	}
-	return false, false
+	return RedoExplanation{}
 }

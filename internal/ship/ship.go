@@ -31,6 +31,7 @@ import (
 
 	"logicallog/internal/fault"
 	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 	"logicallog/internal/wal"
 )
@@ -88,6 +89,9 @@ type SenderConfig struct {
 	Obs *obs.Registry
 	// Tracer, when non-nil, records a span per pumped batch.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, records batch outcomes (sent/lost/rewind) in
+	// the decision flight recorder for post-hoc forensics.
+	Flight *flight.Recorder
 }
 
 // Sender streams a primary log to a standby.  It is safe for concurrent use,
@@ -312,6 +316,7 @@ func (s *Sender) send(b *Batch) error {
 	if ack.Lost {
 		s.batchesLost.Inc()
 		sp.Arg("lost", true)
+		s.cfg.Flight.ShipBatch(flight.DecLost, b.FirstLSN, b.LastLSN, int64(b.Count))
 		return nil
 	}
 	if ack.Applied > s.acked {
@@ -320,11 +325,17 @@ func (s *Sender) send(b *Batch) error {
 	if ack.Durable > s.durable {
 		s.durable = ack.Durable
 	}
+	if b.Count > 0 {
+		s.cfg.Flight.ShipBatch(flight.DecSent, b.FirstLSN, b.LastLSN, int64(b.Count))
+	}
 	if ack.Want != 0 && ack.Want < s.cursor {
 		s.cursor = ack.Want
 		s.resyncs++
 		s.resyncCount.Inc()
 		sp.Arg("resync_to", int64(ack.Want))
+		// A rewind's Ref is the standby's Want cursor the sender backed
+		// up to.
+		s.cfg.Flight.ShipBatch(flight.DecRewind, b.FirstLSN, ack.Want, int64(b.Count))
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"logicallog/internal/cache"
 	"logicallog/internal/core"
 	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 	"logicallog/internal/recovery"
 	"logicallog/internal/stable"
@@ -158,7 +159,11 @@ func newStandby(cfg StandbyConfig, origin op.SI, image map[op.ObjectID]stable.Ve
 func (s *Standby) tuneLog() {
 	s.log.SetRetryPolicy(s.cfg.Opts.TransientRetries, 20*time.Microsecond, 500*time.Microsecond)
 	s.log.SetObs(s.cfg.Opts.Obs)
+	s.log.SetFlight(s.cfg.Opts.Flight)
 }
+
+// flight is the standby's decision flight recorder handle (nil-safe).
+func (s *Standby) flight() *flight.Recorder { return s.cfg.Opts.Flight }
 
 func (s *Standby) cacheConfig() cache.Config {
 	return cache.Config{
@@ -234,16 +239,19 @@ func (s *Standby) Deliver(b *Batch) (Ack, error) {
 		if rec.LSN < s.want {
 			s.stats.Dups++
 			s.dupsC.Inc()
+			s.flight().ShipApply(flight.DecDup, rec.LSN, s.want)
 			continue
 		}
 		if rec.LSN > s.want {
 			s.stats.Gaps++
 			s.gapsC.Inc()
+			s.flight().ShipApply(flight.DecGap, rec.LSN, s.want)
 			break
 		}
 		if err := s.applyLocked(rec); err != nil {
 			return s.ackLocked(), err
 		}
+		s.flight().ShipApply(flight.DecAccept, rec.LSN, s.want)
 		s.applied = rec.LSN
 		s.want = rec.LSN + 1
 	}
@@ -273,12 +281,14 @@ func (s *Standby) applyLocked(rec *wal.Record) error {
 	recovery.UpdateDirtyTable(s.dot, rec, test)
 	switch rec.Type {
 	case wal.RecOperation:
-		redo, installedWitness := recovery.DecideRedo(test, s.mgr, s.dot, rec.Op)
-		if !redo {
-			if installedWitness {
+		ex := recovery.DecideRedoExplain(test, s.mgr, s.dot, rec.Op)
+		if !ex.Redo {
+			if ex.InstalledWitness {
 				s.stats.SkippedInstalled++
+				s.flight().RedoDecision("standby", rec.LSN, flight.DecSkipInstalled, ex.WitnessObject, ex.WitnessVSI)
 			} else {
 				s.stats.SkippedUnexposed++
+				s.flight().RedoDecision("standby", rec.LSN, flight.DecSkipUnexposed, "", op.NilSI)
 			}
 			break
 		}
@@ -288,9 +298,11 @@ func (s *Standby) applyLocked(rec *wal.Record) error {
 		}
 		if voided {
 			s.stats.Voided++
+			s.flight().RedoDecision("standby", rec.LSN, flight.DecVoided, ex.DirtyObject, ex.DirtyRSI)
 		} else {
 			s.stats.Applied++
 			s.appliedC.Inc()
+			s.flight().RedoDecision("standby", rec.LSN, flight.DecRedo, ex.DirtyObject, ex.DirtyRSI)
 		}
 	case wal.RecInstall:
 		// WAL protocol: the flush must not outrun the standby's own

@@ -1,14 +1,18 @@
 package sim
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"logicallog/internal/btree"
 	"logicallog/internal/core"
 	"logicallog/internal/fault"
+	"logicallog/internal/forensics"
 	"logicallog/internal/lsm"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/wal"
 	"logicallog/internal/workload"
 )
@@ -102,6 +106,62 @@ func TestDomainModelDifferential(t *testing.T) {
 	}
 }
 
+// modelForensics renders the decision chain behind a model divergence: the
+// flight-recorded redo decisions for every logged record whose payload
+// carries the divergent key's bytes (the pages or runs holding that key),
+// followed by the tail of the flight dump.  Best effort — a key that never
+// appears literally in a payload still gets the dump.
+func modelForensics(eng *core.Engine, fl *flight.Recorder, verifyErr error) string {
+	events := fl.Events()
+	var b strings.Builder
+	if key := divergentKey(verifyErr); key != "" {
+		recs, err := forensics.ScanAll(eng.Log(), eng.Log().FirstLSN())
+		if err == nil {
+			explained := 0
+			for _, rec := range recs {
+				if rec.Type != wal.RecOperation || explained >= 8 {
+					continue
+				}
+				hit := false
+				for _, v := range rec.Op.Values {
+					if bytes.Contains(v, []byte(key)) {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					continue
+				}
+				if x, xerr := forensics.Explain(recs, events, rec.LSN); xerr == nil {
+					b.WriteString(x.String())
+					explained++
+				}
+			}
+			if explained > 0 {
+				b.WriteString(fmt.Sprintf("(decision chain for records carrying divergent key %q)\n", key))
+			}
+		}
+	}
+	b.WriteString(forensics.Dump(events, 24))
+	return b.String()
+}
+
+// divergentKey extracts the key named by a MixDriver.Verify failure
+// ("workload: domain has unexpected key K" / "workload: domain K = ..,
+// model says ..").
+func divergentKey(err error) string {
+	msg := err.Error()
+	if _, rest, ok := strings.Cut(msg, "unexpected key "); ok {
+		return strings.TrimSpace(rest)
+	}
+	if _, rest, ok := strings.Cut(msg, "workload: domain "); ok {
+		if key, _, ok := strings.Cut(rest, " = "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return ""
+}
+
 func runDomainModel(t *testing.T, cfg NamedConfig,
 	fresh, open func(*core.Engine) (workload.Domain, error), seed int64) {
 	t.Helper()
@@ -117,8 +177,10 @@ func runDomainModel(t *testing.T, cfg NamedConfig,
 	}
 	plan := fault.NewPlan(pts...)
 
+	fl := flight.NewRecorder(1 << 10)
 	opts := cfg.Opts
 	opts.LogDevice = plan.WrapDevice(wal.NewMemDevice())
+	opts.Flight = fl
 	eng, err := core.New(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +225,7 @@ func runDomainModel(t *testing.T, cfg NamedConfig,
 		t.Fatal(err)
 	}
 	if err := drv.Verify(dom); err != nil {
-		t.Fatalf("post-adopt verify: %v", err)
+		t.Fatalf("post-adopt verify: %v\n%s", err, modelForensics(eng, fl, err))
 	}
 
 	// Phase 3: the recovered domain must remain fully usable — continue the
@@ -184,6 +246,6 @@ func runDomainModel(t *testing.T, cfg NamedConfig,
 		t.Fatal(err)
 	}
 	if err := drv.Verify(dom); err != nil {
-		t.Fatalf("forced prefix did not recover exactly: %v", err)
+		t.Fatalf("forced prefix did not recover exactly: %v\n%s", err, modelForensics(eng, fl, err))
 	}
 }

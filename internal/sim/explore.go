@@ -12,11 +12,16 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"logicallog/internal/cache"
 	"logicallog/internal/core"
 	"logicallog/internal/fault"
+	"logicallog/internal/forensics"
 	"logicallog/internal/installgraph"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 	"logicallog/internal/recovery"
 	"logicallog/internal/stable"
@@ -233,8 +238,48 @@ func runSchedule(cfg NamedConfig, plan *fault.Plan, rogue RogueHook) error {
 // an optional post-recovery domain check (run after oracle verification, so
 // a domain-level failure always implicates the domain, not the engine).
 func runScheduleWith(cfg NamedConfig, plan *fault.Plan, rogue RogueHook, script exploreScript, post func(*core.Engine) error) error {
+	fl := flight.NewRecorder(1 << 10)
+	err := runScheduleFlight(cfg, plan, rogue, script, post, fl)
+	if err != nil && !errors.Is(err, errHarness) {
+		err = attachForensics(err, fl, plan.Token())
+	}
+	return err
+}
+
+// attachForensics appends a compact flight dump to a schedule failure so the
+// repro output carries the decision chain that led to the bad state.  When
+// LL_FORENSICS_DIR is set (the CI sweeps set it), the full dump is also
+// written to a file named after the repro token for artifact upload.
+func attachForensics(err error, fl *flight.Recorder, token string) error {
+	events := fl.Events()
+	if dir := os.Getenv("LL_FORENSICS_DIR"); dir != "" {
+		name := sanitizeToken(token) + ".flight.txt"
+		if mkErr := os.MkdirAll(dir, 0o755); mkErr == nil {
+			_ = os.WriteFile(filepath.Join(dir, name), []byte(forensics.Dump(events, 0)), 0o644)
+		}
+	}
+	return fmt.Errorf("%w\n%s", err, forensics.Dump(events, 24))
+}
+
+// sanitizeToken maps a fault token to a safe file name.
+func sanitizeToken(token string) string {
+	if token == "" {
+		return "fault-free"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, token)
+}
+
+func runScheduleFlight(cfg NamedConfig, plan *fault.Plan, rogue RogueHook, script exploreScript, post func(*core.Engine) error, fl *flight.Recorder) error {
 	opts := cfg.Opts
 	opts.LogDevice = plan.WrapDevice(wal.NewMemDevice())
+	opts.Flight = fl
 	// Deterministic per-schedule worker count: vary parallel redo across
 	// the schedule space without a nondeterministic seed.
 	opts.RedoWorkers = 1 + len(plan.Token())%4
@@ -273,7 +318,7 @@ func runScheduleWith(cfg NamedConfig, plan *fault.Plan, rogue RogueHook, script 
 		return err
 	}
 	if rec.initial != nil {
-		if err := checkExplainableState(eng, rec); err != nil {
+		if err := checkExplainableState(eng, rec, fl); err != nil {
 			return err
 		}
 	}
@@ -472,7 +517,7 @@ func pickIndex(rng *rand.Rand, live []bool, want bool, min int) int {
 // latest installed set), each BFS-extended a few installs deep to absorb
 // flushes whose trace was lost to the crash (a flush-transaction repaired
 // by recovery, a torn batch, a swing racing the fault).
-func checkExplainableState(eng *core.Engine, rec *runRecorder) error {
+func checkExplainableState(eng *core.Engine, rec *runRecorder, fl *flight.Recorder) error {
 	sc, err := eng.Log().Scan(0)
 	if err != nil {
 		return fmt.Errorf("explainability scan: %w", err)
@@ -494,6 +539,7 @@ func checkExplainableState(eng *core.Engine, rec *runRecorder) error {
 	if err != nil {
 		return fmt.Errorf("explainability graph: %w", err)
 	}
+	ig.SetFlight(fl)
 	inGraph := make(map[op.SI]bool, len(history))
 	for _, o := range history {
 		inGraph[o.LSN] = true

@@ -19,6 +19,7 @@ import (
 
 	"logicallog/internal/core"
 	"logicallog/internal/fault"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 	"logicallog/internal/ship"
 	"logicallog/internal/wal"
@@ -223,9 +224,22 @@ func runShipSchedule(cfg NamedConfig, sched shipSchedule) (int, error) {
 // runShipScheduleWith is runShipSchedule parameterized by the primary's
 // script and an optional domain-level check on the promoted standby.
 func runShipScheduleWith(cfg NamedConfig, sched shipSchedule, script exploreScript, post func(*core.Engine) error) (int, error) {
+	fl := flight.NewRecorder(1 << 10)
+	sends, err := runShipScheduleFlight(cfg, sched, script, post, fl)
+	if err != nil && !errors.Is(err, errHarness) {
+		err = attachForensics(err, fl, sched.String())
+	}
+	return sends, err
+}
+
+// runShipScheduleFlight shares one flight recorder between the primary, the
+// wire, and the standby, so a failure's dump interleaves ship batch events
+// with the standby's per-record apply decisions in one sequence.
+func runShipScheduleFlight(cfg NamedConfig, sched shipSchedule, script exploreScript, post func(*core.Engine) error, fl *flight.Recorder) (int, error) {
 	popts := cfg.Opts
 	popts.LogDevice = wal.NewMemDevice()
 	popts.RedoWorkers = 1 + (sched.boundary+len(sched.token))%4
+	popts.Flight = fl
 	rec := &runRecorder{}
 	eng, err := core.New(popts)
 	if err != nil {
@@ -234,6 +248,7 @@ func runShipScheduleWith(cfg NamedConfig, sched shipSchedule, script exploreScri
 
 	sopts := cfg.Opts
 	sopts.RedoWorkers = popts.RedoWorkers
+	sopts.Flight = fl
 	// The standby keeps its whole log: the script emits non-clean
 	// checkpoints (CheckpointOnly mid-dirty), and truncating at their
 	// RedoStart would cut the log past the phase-0 snapshot that anchors the
@@ -264,7 +279,7 @@ func runShipScheduleWith(cfg NamedConfig, sched shipSchedule, script exploreScri
 		bt.crashAt = sched.boundary
 		bt.sb = sb
 	}
-	s := ship.NewSender(eng.Log(), bt, 1, ship.SenderConfig{BatchRecords: 3})
+	s := ship.NewSender(eng.Log(), bt, 1, ship.SenderConfig{BatchRecords: 3, Flight: fl})
 	defer s.Close()
 
 	scriptErr := script(eng, rec, func(step int, _ *core.Engine) error {
@@ -311,7 +326,7 @@ func runShipScheduleWith(cfg NamedConfig, sched shipSchedule, script exploreScri
 		return bt.sends, err
 	}
 	if cfg.Opts.LogInstalls && rec.initial != nil {
-		if err := checkExplainableState(promoted, rec); err != nil {
+		if err := checkExplainableState(promoted, rec, fl); err != nil {
 			return bt.sends, err
 		}
 	}

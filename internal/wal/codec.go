@@ -203,6 +203,7 @@ func encodePayload(e *encoder, r *Record) {
 	case RecAbsorbed:
 		e.str(string(r.Absorbed.Object))
 		e.uvarint(uint64(r.Absorbed.Elided))
+		e.uvarint(uint64(r.Absorbed.By))
 	}
 }
 
@@ -357,7 +358,11 @@ func decodeRecord(payload []byte, alias bool) (*Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.Absorbed = &AbsorbedRecord{Object: op.ObjectID(x), Elided: int64(elided)}
+		by, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		r.Absorbed = &AbsorbedRecord{Object: op.ObjectID(x), Elided: int64(elided), By: op.SI(by)}
 	default:
 		return nil, fmt.Errorf("wal: unknown record type %d", t)
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"logicallog/internal/obs"
+	"logicallog/internal/obs/flight"
 	"logicallog/internal/op"
 )
 
@@ -82,6 +83,11 @@ type Log struct {
 	stats Stats
 	obs   logObs
 
+	// flight is the optional decision flight recorder (see SetFlight).
+	// Held as an atomic pointer because absorption-index updates read it
+	// under stream/shard mutexes without l.mu.
+	flight atomic.Pointer[flight.Recorder]
+
 	// Retention hooks, under their own mutex so hook queries never nest
 	// inside l.mu (see RegisterRetention).
 	retainMu  sync.Mutex
@@ -144,6 +150,13 @@ func (l *Log) SetObs(r *obs.Registry) {
 		s.obs = l.obs
 	}
 	l.unlockAllStreams(ss)
+}
+
+// SetFlight wires the decision flight recorder; nil disables it.  The
+// log records absorption decisions (record/cancel/commit) and stream
+// merges; all emission is nil-safe and observational only.
+func (l *Log) SetFlight(r *flight.Recorder) {
+	l.flight.Store(r)
 }
 
 // Stats aggregates the logging-cost accounting the experiments report.

@@ -115,6 +115,10 @@ type AbsorbedRecord struct {
 	Object op.ObjectID
 	// Elided is the payload length, in bytes, of the absorbed record.
 	Elided int64
+	// By is the LSN of the later write that superseded the absorbed one —
+	// the provenance a durable tombstone carries so llinspect can name its
+	// absorber (a committed absorption; canceled ones never reach the log).
+	By op.SI
 }
 
 // RedoStart returns the earliest rSI among dirty entries, or fallback if the
@@ -216,9 +220,10 @@ func NewFlushRecord(x op.ObjectID, vsi op.SI) *Record {
 	return &Record{Type: RecFlush, Flush: &FlushRecord{Object: x, VSI: vsi}}
 }
 
-// NewAbsorbedRecord builds the tombstone substituted for an absorbed write.
-func NewAbsorbedRecord(x op.ObjectID, elided int64) *Record {
-	return &Record{Type: RecAbsorbed, Absorbed: &AbsorbedRecord{Object: x, Elided: elided}}
+// NewAbsorbedRecord builds the tombstone substituted for an absorbed
+// write; by is the superseding write's LSN.
+func NewAbsorbedRecord(x op.ObjectID, elided int64, by op.SI) *Record {
+	return &Record{Type: RecAbsorbed, Absorbed: &AbsorbedRecord{Object: x, Elided: elided, By: by}}
 }
 
 // NewCheckpointRecord builds a checkpoint record with canonical ordering.

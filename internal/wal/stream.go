@@ -246,6 +246,7 @@ func (l *Log) observe(obj op.ObjectID, lsn op.SI) {
 	for alsn, pair := range sh.absorbed {
 		if pair.obj == obj && alsn < lsn && lsn < pair.by {
 			delete(sh.absorbed, alsn)
+			l.flight.Load().AbsorbCancel(obj, alsn, lsn)
 		}
 	}
 	sh.mu.Unlock()
@@ -276,6 +277,7 @@ func (l *Log) noteCandidate(sr streamRec) {
 		// interval (prev.lsn, sr.lsn) is observer-free.
 		if obsLSN < prev.lsn {
 			sh.absorbed[prev.lsn] = absorbedPair{obj: sr.obj, payload: prev.payload, by: sr.lsn}
+			l.flight.Load().AbsorbRecord(sr.obj, prev.lsn, sr.lsn)
 		}
 		if obsLSN < sr.lsn {
 			sh.cands[sr.obj] = candInfo{lsn: sr.lsn, payload: payload}
@@ -289,6 +291,7 @@ func (l *Log) noteCandidate(sr streamRec) {
 		// to the older value.
 		if obsLSN < sr.lsn {
 			sh.absorbed[sr.lsn] = absorbedPair{obj: sr.obj, payload: payload, by: prev.lsn}
+			l.flight.Load().AbsorbRecord(sr.obj, sr.lsn, prev.lsn)
 		}
 	}
 }
@@ -411,6 +414,7 @@ func (l *Log) mergeThrough(target op.SI) {
 			l.obs.mergeNs.Since(mergeStart)
 			l.obs.mergeRecords.Observe(int64(merged))
 		}
+		l.flight.Load().Merge(target, int64(merged))
 	}
 	l.unlockAllStreams(ss)
 }
@@ -452,7 +456,7 @@ func (l *Log) mergeRecord(r streamRec, target op.SI) {
 		sh.mu.Unlock()
 		if hit && pair.by <= target {
 			// The absorber is merged in this same batch: elide.
-			marker := NewAbsorbedRecord(pair.obj, pair.payload)
+			marker := NewAbsorbedRecord(pair.obj, pair.payload, pair.by)
 			marker.LSN = r.lsn
 			before := len(l.mergedBuf)
 			l.mergedBuf = AppendFrame(l.mergedBuf, marker)
@@ -461,6 +465,7 @@ func (l *Log) mergeRecord(r streamRec, target op.SI) {
 			l.stats.BytesElided += elided
 			l.obs.absorbHits.Inc()
 			l.obs.absorbBytesElided.Add(elided)
+			l.flight.Load().AbsorbCommit(pair.obj, r.lsn, pair.by, elided)
 			l.mergedLast = r.lsn
 			l.mergedCount++
 			return
