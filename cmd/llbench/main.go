@@ -1,4 +1,4 @@
-// Command llbench runs the paper-reproduction experiments (E1–E13 and the
+// Command llbench runs the paper-reproduction experiments (E1–E14 and the
 // ablations; see DESIGN.md) and prints their tables.
 //
 // Usage:

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"logicallog/internal/cache"
 	"logicallog/internal/core"
@@ -24,6 +25,7 @@ import (
 	"logicallog/internal/obs"
 	"logicallog/internal/obs/flight"
 	"logicallog/internal/recovery"
+	"logicallog/internal/server"
 	"logicallog/internal/ship"
 	"logicallog/internal/sim"
 	"logicallog/internal/wal"
@@ -35,6 +37,7 @@ func main() {
 	steps := flag.Int("steps", 200, "workload steps before the crash")
 	seed := flag.Int64("seed", 1, "workload seed")
 	scenario := flag.String("scenario", "", `drive the recoverable domains (B+tree + LSM) with this scenario mix instead of the flat workload: point-lookup-heavy, scan-heavy, write-burst, or a custom "lookup=40,scan=10,insert=30,update=15,delete=5" spec`)
+	connect := flag.String("connect", "", "drive the scenario mix against a running llserve at this address instead of a local engine (works mid-recovery: the server redoes what each request needs)")
 	walPath := flag.String("wal", "", "WAL file path (default: temp file)")
 	physio := flag.Bool("physio", false, "use the physiological baseline configuration")
 	classicW := flag.Bool("w", false, "use the classic write graph W instead of rW")
@@ -68,6 +71,17 @@ func main() {
 		if _, err := workload.ParseMix(*scenario); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *connect != "" {
+		mixName := *scenario
+		if mixName == "" {
+			mixName = "point-lookup-heavy"
+		}
+		if err := runRemote(*connect, mixName, *seed, *steps); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	points, err := fault.ParseToken(*faults)
@@ -280,6 +294,59 @@ func main() {
 		fmt.Printf("flight spill left at %s (explain a decision: llinspect -flight %s -explain LSN %s)\n", *flightOut, *flightOut, path)
 	}
 	fmt.Printf("WAL left at %s (inspect with llinspect)\n", path)
+}
+
+// runRemote drives a scenario mix over the wire against a running llserve:
+// adopt the server's current contents into the model, run the mix with
+// per-step cross-checks, then verify the full state.  It works against a
+// server still draining recovery — every request redoes exactly the
+// dependency chains it needs before being served.
+func runRemote(addr, mixName string, seed int64, steps int) error {
+	mix, err := workload.ParseMix(mixName)
+	if err != nil {
+		return err
+	}
+	cl, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		return err
+	}
+	drv, err := workload.NewMixDriver(mix, seed)
+	if err != nil {
+		return err
+	}
+	if err := drv.Adopt(cl); err != nil {
+		return err
+	}
+	fmt.Printf("driving %d-step %s mix against %s (seed %d, adopted %d existing keys)...\n",
+		steps, mixName, addr, seed, drv.ModelSize())
+	if err := drv.Steps(cl, steps); err != nil {
+		return err
+	}
+	if err := drv.Verify(cl); err != nil {
+		return fmt.Errorf("remote verification FAILED: %w", err)
+	}
+	c := drv.Counts()
+	fmt.Printf("  ops: %d lookups, %d scans, %d inserts, %d updates, %d deletes (%d keys live)\n",
+		c.Lookups, c.Scans, c.Inserts, c.Updates, c.Deletes, drv.ModelSize())
+	stats, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("  server stats:")
+	for _, k := range keys {
+		fmt.Printf("    %-18s %d\n", k, stats[k])
+	}
+	fmt.Println("verification: server state matches the driver's model")
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,154 @@
+package apprec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"logicallog/internal/cache"
+	"logicallog/internal/core"
+	"logicallog/internal/op"
+	"logicallog/internal/workload"
+)
+
+// Domain adapts application recovery to workload.Domain so the scenario-mix
+// machinery can drive it.  Each key owns one application: a Put stages the
+// value as a transient file, launches the application, absorbs the staging
+// object through R(A,X) — so the value reaches the recoverable application
+// state via a logical read whose replay re-derives it, never re-logs it —
+// and deletes the staging object (the Section 5 transient-object case).  A
+// Get decodes the application's input buffer; a Delete is Exit.  Ex(A) is
+// deliberately not part of Put: an execution step consumes the input
+// buffer, which is exactly the byte-for-byte state the mix model checks.
+type Domain struct {
+	eng    *core.Engine
+	prefix string
+}
+
+// NewDomain returns a scenario-mix domain over eng.  The engine's registry
+// must have Register applied.  The prefix namespaces the per-key
+// application and staging objects (e.g. "ap").
+func NewDomain(eng *core.Engine, prefix string) *Domain {
+	return &Domain{eng: eng, prefix: prefix}
+}
+
+func (d *Domain) appID(key []byte) op.ObjectID {
+	return op.ObjectID(d.prefix + "/a/" + string(key))
+}
+
+func (d *Domain) stagingID(key []byte) op.ObjectID {
+	return op.ObjectID(d.prefix + "/s/" + string(key))
+}
+
+// Put implements workload.Domain via the application lifecycle: exit any
+// prior incarnation, stage the value, launch, absorb, unstage.
+func (d *Domain) Put(key, val []byte) error {
+	app := Attach(d.eng, d.appID(key))
+	if _, err := d.eng.Get(app.ID()); err == nil {
+		// Overwrite = the old application exits, a fresh one launches.
+		if err := app.Exit(); err != nil {
+			return err
+		}
+	} else if !errors.Is(err, cache.ErrNotFound) {
+		return err
+	}
+	staging := d.stagingID(key)
+	if err := d.eng.Execute(op.NewCreate(staging, val)); err != nil {
+		return err
+	}
+	app, err := Launch(d.eng, d.appID(key))
+	if err != nil {
+		return err
+	}
+	if err := app.Read(staging); err != nil {
+		return err
+	}
+	// The staging object's lifetime ends inside the same history window —
+	// recovery may skip every operation on it (Section 5).
+	return d.eng.Execute(op.NewDelete(staging))
+}
+
+// Get implements workload.Domain: the value lives in the application's
+// input buffer, where R(A,X) absorbed it.
+func (d *Domain) Get(key []byte) ([]byte, bool, error) {
+	raw, err := d.eng.Get(d.appID(key))
+	if errors.Is(err, cache.ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	st, err := DecodeState(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return st.Input, true, nil
+}
+
+// Delete implements workload.Domain: the application exits.
+func (d *Domain) Delete(key []byte) (bool, error) {
+	app := Attach(d.eng, d.appID(key))
+	if _, err := d.eng.Get(app.ID()); errors.Is(err, cache.ErrNotFound) {
+		return false, nil
+	} else if err != nil {
+		return false, err
+	}
+	return true, app.Exit()
+}
+
+// Range implements workload.Domain: enumerate live applications in key
+// order over [lo, hi) (hi nil/empty = unbounded).
+func (d *Domain) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
+	p := d.prefix + "/a/"
+	lower := op.ObjectID(p + string(lo))
+	var upper op.ObjectID
+	if len(hi) > 0 {
+		upper = op.ObjectID(p + string(hi))
+	} else {
+		upper = op.ObjectID(d.prefix + "/a0") // one past every "<prefix>/a/..." id
+	}
+	ids, err := d.eng.Objects(lower, upper)
+	if err != nil {
+		return err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, x := range ids {
+		raw, err := d.eng.Get(x)
+		if errors.Is(err, cache.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		st, err := DecodeState(raw)
+		if err != nil {
+			return err
+		}
+		if !fn([]byte(x[len(p):]), st.Input) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Check implements workload.Domain: every live application must decode, no
+// staging object may outlive its Put, and a freshly launched application
+// has taken no execution steps.
+func (d *Domain) Check() error {
+	if err := d.Range(nil, nil, func(key, val []byte) bool { return true }); err != nil {
+		return err
+	}
+	lower := op.ObjectID(d.prefix + "/s/")
+	upper := op.ObjectID(d.prefix + "/s0")
+	ids, err := d.eng.Objects(lower, upper)
+	if err != nil {
+		return err
+	}
+	if len(ids) > 0 {
+		return fmt.Errorf("apprec: %d staging objects leaked: %v", len(ids), ids)
+	}
+	return nil
+}
+
+// Compile-time interface check.
+var _ workload.Domain = (*Domain)(nil)

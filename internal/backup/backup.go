@@ -45,13 +45,17 @@ type Backup struct {
 // normal execution (updates, installs, checkpoints) mid-backup — that is
 // what makes the backup fuzzy.
 func Take(eng *core.Engine, interleave func(copied int) error) (*Backup, error) {
+	// The replay origin is the engine's recovery horizon, not just the
+	// durable log horizon: an operation logged before the backup began
+	// but still uninstalled is in neither the image nor a replay from
+	// StableLSN+1, so the origin must reach back to the earliest dirty
+	// rSI.  Each copied object's vSI keeps the longer replay exact.
+	start, err := eng.RecoveryHorizon()
+	if err != nil {
+		return nil, err
+	}
 	b := &Backup{
-		// The replay origin is the engine's recovery horizon, not just the
-		// durable log horizon: an operation logged before the backup began
-		// but still uninstalled is in neither the image nor a replay from
-		// StableLSN+1, so the origin must reach back to the earliest dirty
-		// rSI.  Each copied object's vSI keeps the longer replay exact.
-		StartLSN: eng.RecoveryHorizon(),
+		StartLSN: start,
 		Objects:  make(map[op.ObjectID]stable.Versioned),
 	}
 	for i, id := range eng.Store().IDs() {

@@ -264,6 +264,31 @@ func (m *Manager) forEach(fn func(x op.ObjectID, e *entry)) {
 	}
 }
 
+// RangeLive visits every cached object whose id falls in [lo, hi) (hi == ""
+// means unbounded) and reports whether it currently exists (false for cached
+// deletions).  Iteration stops early when fn returns false.  Safe while
+// replay of chains OUTSIDE the range is still running concurrently: the id
+// filter is applied before any entry field is read, and an in-range entry's
+// contents are only mutated by the chains that touch it — which the caller
+// must have drained (Engine gates enumeration on RequireRange).  Visit order
+// is shard order, not key order; callers wanting sorted output must sort.
+func (m *Manager) RangeLive(lo, hi op.ObjectID, fn func(x op.ObjectID, exists bool) bool) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for x, e := range sh.m {
+			if x < lo || (hi != "" && x >= hi) {
+				continue
+			}
+			if !fn(x, e.exists) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats {
 	m.statsMu.Lock()

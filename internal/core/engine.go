@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -106,6 +107,12 @@ type Engine struct {
 	log   *wal.Log
 	store *stable.Store
 	mgr   *cache.Manager
+
+	// gate, when non-nil, is an on-demand redo drain still in progress
+	// (RecoverOnDemand).  Every access path drains the chains it needs
+	// before touching the cache; global operations (installs, checkpoints)
+	// wait for the full drain.  Cleared once the drain completes cleanly.
+	gate *recovery.OnDemand
 
 	// history keeps every executed operation for test oracles; it is
 	// volatile and carries no recovery responsibility.
@@ -212,11 +219,71 @@ func (e *Engine) History() []*op.Operation {
 	return e.history
 }
 
+// gateFor returns the active on-demand drain, or nil when none is running.
+// Callers hold e.mu.  A cleanly completed drain is retired here so the
+// fast path (Done) is consulted at most once after completion.
+func (e *Engine) gateFor() *recovery.OnDemand {
+	if e.gate == nil {
+		return nil
+	}
+	if e.gate.Done() {
+		e.gate = nil
+		return nil
+	}
+	return e.gate
+}
+
+// gateRead drains the chains a read of ids needs (no-op when no on-demand
+// drain is running).  Callers hold e.mu; the drain's background workers
+// never take it, so blocking here cannot deadlock.
+func (e *Engine) gateRead(ids ...op.ObjectID) error {
+	if g := e.gateFor(); g != nil {
+		return g.RequireRead(ids...)
+	}
+	return nil
+}
+
+// gateOp drains the chains executing o needs.
+func (e *Engine) gateOp(o *op.Operation) error {
+	if g := e.gateFor(); g != nil {
+		return g.RequireOp(o)
+	}
+	return nil
+}
+
+// gateRange drains every chain writing an object id in [lo, hi).
+func (e *Engine) gateRange(lo, hi op.ObjectID) error {
+	if g := e.gateFor(); g != nil {
+		return g.RequireRange(lo, hi)
+	}
+	return nil
+}
+
+// drainGate completes the on-demand drain, if one is running.  Operations
+// with whole-cache footprints (installs, checkpoints, horizon computations)
+// call this: they are only correct against fully recovered state.
+func (e *Engine) drainGate() error {
+	g := e.gateFor()
+	if g == nil {
+		return nil
+	}
+	_, err := g.Wait()
+	if err == nil {
+		e.gate = nil
+	}
+	return err
+}
+
 // Execute runs one operation through the engine.  Under the Physiological
 // option the operation is first lowered to the Figure 1(b) form.
 func (e *Engine) Execute(o *op.Operation) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Gate before lowering: lowering reads the operation's read set from
+	// the cache, which must already hold recovered values.
+	if err := e.gateOp(o); err != nil {
+		return err
+	}
 	if e.opts.Physiological {
 		lowered, err := e.lowerPhysiological(o)
 		if err != nil {
@@ -266,13 +333,51 @@ func (e *Engine) lowerPhysiological(o *op.Operation) (*op.Operation, error) {
 func (e *Engine) Get(x op.ObjectID) ([]byte, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.gateRead(x); err != nil {
+		return nil, err
+	}
 	return e.mgr.Get(x)
+}
+
+// Objects returns, sorted, the ids of every live object with id in [lo, hi)
+// (hi == "" means unbounded): the stable store's population overlaid with
+// the cache — a cached creation appears, a cached deletion disappears.
+// During an on-demand drain the range's writer chains are drained first, so
+// the enumeration matches what a full-redo restart would list.
+func (e *Engine) Objects(lo, hi op.ObjectID) ([]op.ObjectID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.gateRange(lo, hi); err != nil {
+		return nil, err
+	}
+	live := make(map[op.ObjectID]bool)
+	for _, x := range e.store.IDs() {
+		if x < lo || (hi != "" && x >= hi) {
+			continue
+		}
+		live[x] = true
+	}
+	e.mgr.RangeLive(lo, hi, func(x op.ObjectID, exists bool) bool {
+		live[x] = exists
+		return true
+	})
+	ids := make([]op.ObjectID, 0, len(live))
+	for x, ok := range live {
+		if ok {
+			ids = append(ids, x)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
 }
 
 // InstallOne installs one minimal write-graph node (cache pressure).
 func (e *Engine) InstallOne() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.drainGate(); err != nil {
+		return err
+	}
 	_, err := e.mgr.InstallMinimal()
 	if err == cache.ErrNothingToInstall {
 		return nil
@@ -284,6 +389,9 @@ func (e *Engine) InstallOne() error {
 func (e *Engine) FlushAll() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.drainGate(); err != nil {
+		return err
+	}
 	return e.mgr.PurgeAll()
 }
 
@@ -294,6 +402,9 @@ func (e *Engine) FlushAll() error {
 func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.drainGate(); err != nil {
+		return err
+	}
 	lsn, err := e.mgr.Checkpoint()
 	if err != nil {
 		return err
@@ -315,6 +426,9 @@ func (e *Engine) Checkpoint() error {
 func (e *Engine) CheckpointOnly() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.drainGate(); err != nil {
+		return err
+	}
 	lsn, err := e.mgr.Checkpoint()
 	if err != nil {
 		return err
@@ -330,6 +444,12 @@ func (e *Engine) CheckpointOnly() error {
 func (e *Engine) Crash() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Stop any on-demand drain first: its background workers mutate the
+	// cache manager being discarded, and the volatile state is lost anyway.
+	if e.gate != nil {
+		e.gate.Abort()
+		e.gate = nil
+	}
 	e.log.Crash()
 	e.mgr.Crash()
 }
@@ -339,6 +459,10 @@ func (e *Engine) Crash() {
 func (e *Engine) Recover() (*recovery.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.gate != nil {
+		e.gate.Abort()
+		e.gate = nil
+	}
 	res, err := recovery.Recover(e.log, e.store, recovery.Options{
 		Test:        e.opts.RedoTest,
 		Cache:       e.cacheConfig(),
@@ -354,15 +478,49 @@ func (e *Engine) Recover() (*recovery.Result, error) {
 	return res, nil
 }
 
+// RecoverOnDemand starts instant recovery: analysis runs now, the redo
+// suffix is partitioned into dependency chains, background workers begin
+// draining them, and the engine resumes serving immediately — every access
+// path first drains exactly the chains its objects need (Require* gating),
+// so each request observes the same state a completed full redo would have
+// produced.  The returned scheduler exposes drain progress (ChainCounts,
+// Done) and completion (Wait); the engine clears the gate itself once the
+// drain finishes cleanly.
+func (e *Engine) RecoverOnDemand() (*recovery.OnDemand, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gate != nil {
+		e.gate.Abort()
+		e.gate = nil
+	}
+	od, err := recovery.StartOnDemand(e.log, e.store, recovery.Options{
+		Test:        e.opts.RedoTest,
+		Cache:       e.cacheConfig(),
+		RedoWorkers: e.opts.RedoWorkers,
+		Tracer:      e.opts.Tracer,
+		Obs:         e.opts.Obs,
+		Flight:      e.opts.Flight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mgr = od.Manager()
+	e.gate = od
+	return od, nil
+}
+
 // RecoveryHorizon returns the earliest log LSN a recovery of the engine's
 // current stable state could need: the minimum rSI over dirty objects,
 // bounded by the first unforced LSN.  A backup image or freshly bootstrapped
 // standby that starts replay here misses nothing (internal/backup,
 // internal/ship use this as their replay origin).
-func (e *Engine) RecoveryHorizon() op.SI {
+func (e *Engine) RecoveryHorizon() (op.SI, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.mgr.TruncationPoint(e.log.StableLSN() + 1)
+	if err := e.drainGate(); err != nil {
+		return 0, err
+	}
+	return e.mgr.TruncationPoint(e.log.StableLSN() + 1), nil
 }
 
 // Stats bundles the engine's counters for reporting.

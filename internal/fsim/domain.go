@@ -1,0 +1,91 @@
+package fsim
+
+import (
+	"errors"
+
+	"logicallog/internal/workload"
+)
+
+// Domain adapts an FS to workload.Domain so the scenario-mix machinery
+// (MixDriver, llrun -scenario, the explorer mix sweeps) can drive the
+// file-system example the paper opens with: keys are file names, values
+// file contents.  Inserts and updates land as the domain's own operations
+// (Create for new files, physical WriteFile for overwrites), deletes
+// terminate file lifetimes, and scans walk the live directory listing.
+type Domain struct {
+	fs *FS
+}
+
+// NewDomain wraps a file system as a scenario-mix domain.
+func NewDomain(fs *FS) *Domain { return &Domain{fs: fs} }
+
+// Put implements workload.Domain: Create for a new file, WriteFile for an
+// overwrite.
+func (d *Domain) Put(key, val []byte) error {
+	if d.fs.Exists(string(key)) {
+		return d.fs.WriteFile(string(key), val)
+	}
+	return d.fs.Create(string(key), val)
+}
+
+// Get implements workload.Domain.
+func (d *Domain) Get(key []byte) ([]byte, bool, error) {
+	v, err := d.fs.ReadFile(string(key))
+	if errors.Is(err, ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Delete implements workload.Domain.
+func (d *Domain) Delete(key []byte) (bool, error) {
+	if !d.fs.Exists(string(key)) {
+		return false, nil
+	}
+	return true, d.fs.Remove(string(key))
+}
+
+// Range implements workload.Domain: walk the live directory listing over
+// [lo, hi) (hi nil/empty = unbounded) in name order.
+func (d *Domain) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
+	names, err := d.fs.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if n < string(lo) || (len(hi) > 0 && n >= string(hi)) {
+			continue
+		}
+		v, err := d.fs.ReadFile(n)
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if !fn([]byte(n), v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Check implements workload.Domain: every listed file must be readable.
+func (d *Domain) Check() error {
+	names, err := d.fs.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := d.fs.ReadFile(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compile-time interface check.
+var _ workload.Domain = (*Domain)(nil)

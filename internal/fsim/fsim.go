@@ -214,20 +214,25 @@ func (fs *FS) Exists(name string) bool {
 	return err == nil
 }
 
-// List returns the names of files currently in the stable store plus dirty
-// cache under this prefix.  (Directory listing is a catalog operation; it
-// scans the stable store's ids and is intended for tools and tests.)
-func (fs *FS) List() []string {
-	seen := map[string]bool{}
-	var names []string
-	for _, id := range fs.eng.Store().IDs() {
-		if n, ok := fs.nameOf(id); ok && fs.Exists(n) && !seen[n] {
-			seen[n] = true
+// List returns the names of all live files under this prefix, in order.
+// It enumerates through the engine, so it sees created-but-never-installed
+// files the stable store alone would miss, hides cached deletions, and —
+// during an on-demand recovery drain — gates on the range's writer chains.
+func (fs *FS) List() ([]string, error) {
+	lo := op.ObjectID(fs.prefix + "/")
+	hi := op.ObjectID(fs.prefix + "0") // one past '/': every name is below it
+	ids, err := fs.eng.Objects(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if n, ok := fs.nameOf(id); ok {
 			names = append(names, n)
 		}
 	}
 	sort.Strings(names)
-	return names
+	return names, nil
 }
 
 func (fs *FS) nameOf(id op.ObjectID) (string, bool) {

@@ -213,12 +213,20 @@ func TestList(t *testing.T) {
 	fs.Create("a", []byte("1"))
 	fs.Create("doomed", []byte("3"))
 	fs.Remove("doomed")
+	// No flush: a created-but-never-installed file must still be listed.
+	got, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("List = %v", got)
+	}
 	if err := eng.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	got := fs.List()
-	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
-		t.Errorf("List = %v", got)
+	// A deletion that reached the stable store stays hidden too.
+	if got, err = fs.List(); err != nil || len(got) != 2 {
+		t.Errorf("List after flush = %v, %v", got, err)
 	}
 	// A second FS namespace is invisible.
 	other := New(eng, "other")
@@ -226,11 +234,11 @@ func TestList(t *testing.T) {
 	if err := eng.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	if len(fs.List()) != 2 {
-		t.Errorf("namespaces leaked: %v", fs.List())
+	if got, err = fs.List(); err != nil || len(got) != 2 {
+		t.Errorf("namespaces leaked: %v, %v", got, err)
 	}
-	if len(other.List()) != 1 {
-		t.Errorf("other namespace = %v", other.List())
+	if got, err = other.List(); err != nil || len(got) != 1 {
+		t.Errorf("other namespace = %v, %v", got, err)
 	}
 }
 

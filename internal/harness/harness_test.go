@@ -229,6 +229,9 @@ func TestE9Shape(t *testing.T) {
 		if physio <= logical {
 			t.Errorf("row %d: physiological (%d) must exceed logical (%d)", i, physio, logical)
 		}
+		if scanned := cellInt(t, tbl, i, 5); scanned != 256 {
+			t.Errorf("row %d: post-crash leaf-chain scan found %d keys, want 256", i, scanned)
+		}
 	}
 }
 

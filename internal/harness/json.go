@@ -155,6 +155,11 @@ func ValidateReport(r *Report) error {
 				return err
 			}
 		}
+		if e.ID == "E14" {
+			if err := validateServerMetrics(e); err != nil {
+				return err
+			}
+		}
 		if err := validateFlightMetrics(e); err != nil {
 			return err
 		}
@@ -214,6 +219,42 @@ func validateDomainMetrics(e ExperimentResult) error {
 	if e.Metrics.Counters["domain.logical_bytes"] >= e.Metrics.Counters["domain.physio_bytes"] {
 		return fmt.Errorf("harness: %s: logical log bytes (%d) not below the physiological baseline (%d)",
 			e.ID, e.Metrics.Counters["domain.logical_bytes"], e.Metrics.Counters["domain.physio_bytes"])
+	}
+	return nil
+}
+
+// validateServerMetrics checks the instant-recovery families consumers read
+// from an E14 snapshot.  A report produced without a metrics registry has an
+// empty snapshot, which stays valid; once any counter is present the e14.*,
+// server.*, and recovery.ondemand.* families must be complete, traffic must
+// have flowed, and — the headline claim — no sweep point may have served
+// its first request slower than its full-redo twin.
+func validateServerMetrics(e ExperimentResult) error {
+	if len(e.Metrics.Counters) == 0 {
+		return nil
+	}
+	for _, c := range []string{"e14.rows", "e14.first_serve_violations",
+		"server.requests", "server.responses",
+		"recovery.ondemand.demand_chains", "recovery.ondemand.background_chains",
+		"recovery.ondemand.requires", "recovery.ondemand.demand_waits"} {
+		if _, ok := e.Metrics.Counters[c]; !ok {
+			return fmt.Errorf("harness: %s: metrics missing counter %q", e.ID, c)
+		}
+	}
+	if e.Metrics.Counters["e14.rows"] <= 0 {
+		return fmt.Errorf("harness: %s: e14.rows is zero", e.ID)
+	}
+	if v := e.Metrics.Counters["e14.first_serve_violations"]; v != 0 {
+		return fmt.Errorf("harness: %s: %d sweep points served their first request no faster than full redo", e.ID, v)
+	}
+	if e.Metrics.Counters["server.requests"] <= 0 {
+		return fmt.Errorf("harness: %s: server.requests is zero", e.ID)
+	}
+	if e.Metrics.Counters["server.responses"] <= 0 {
+		return fmt.Errorf("harness: %s: server.responses is zero", e.ID)
+	}
+	if e.Metrics.Counters["recovery.ondemand.demand_chains"] <= 0 {
+		return fmt.Errorf("harness: %s: no chain was ever redone on demand", e.ID)
 	}
 	return nil
 }

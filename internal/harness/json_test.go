@@ -324,3 +324,64 @@ func TestValidateReportFlightMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateReportE14Metrics pins the instant-recovery metric contract: an
+// E14 snapshot with any counters must carry the e14.*, server.*, and
+// recovery.ondemand.* families, with traffic flowing, at least one demand
+// chain, and zero first-serve violations.
+func TestValidateReportE14Metrics(t *testing.T) {
+	serverMetrics := func() obs.Snapshot {
+		return obs.Snapshot{
+			Counters: map[string]int64{
+				"e14.rows":                            5,
+				"e14.first_serve_violations":          0,
+				"server.requests":                     25,
+				"server.responses":                    25,
+				"recovery.ondemand.demand_chains":     5,
+				"recovery.ondemand.background_chains": 1620,
+				"recovery.ondemand.requires":          5,
+				"recovery.ondemand.demand_waits":      0,
+			},
+		}
+	}
+	good := func() *Report {
+		tbl := &Table{ID: "E14", Title: "instant recovery", Columns: []string{"a"}}
+		tbl.AddRow(1)
+		return &Report{
+			Schema:    ReportSchema,
+			GoVersion: "go0.0",
+			Experiments: []ExperimentResult{{
+				ID: "E14", Name: "instant recovery", Table: tableResult(tbl), Metrics: serverMetrics(),
+			}},
+		}
+	}
+	if err := ValidateReport(good()); err != nil {
+		t.Fatalf("complete server metrics rejected: %v", err)
+	}
+	r := good()
+	r.Experiments[0].Metrics = obs.Snapshot{}
+	if err := ValidateReport(r); err != nil {
+		t.Errorf("empty snapshot rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*obs.Snapshot)
+		want   string
+	}{
+		{"missing rows", func(s *obs.Snapshot) { delete(s.Counters, "e14.rows") }, "e14.rows"},
+		{"zero rows", func(s *obs.Snapshot) { s.Counters["e14.rows"] = 0 }, "e14.rows"},
+		{"violation recorded", func(s *obs.Snapshot) { s.Counters["e14.first_serve_violations"] = 2 }, "no faster than full redo"},
+		{"missing server family", func(s *obs.Snapshot) { delete(s.Counters, "server.responses") }, "server.responses"},
+		{"no traffic", func(s *obs.Snapshot) { s.Counters["server.requests"] = 0 }, "server.requests"},
+		{"missing ondemand family", func(s *obs.Snapshot) { delete(s.Counters, "recovery.ondemand.requires") }, "recovery.ondemand.requires"},
+		{"no demand chains", func(s *obs.Snapshot) { s.Counters["recovery.ondemand.demand_chains"] = 0 }, "demand"},
+	}
+	for _, c := range cases {
+		r := good()
+		c.mutate(&r.Experiments[0].Metrics)
+		err := ValidateReport(r)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}

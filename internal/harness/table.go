@@ -1,4 +1,4 @@
-// Package harness runs the paper-reproduction experiments (E1–E13 of
+// Package harness runs the paper-reproduction experiments (E1–E14 of
 // DESIGN.md) and renders their results as text tables.  Every experiment is
 // deterministic given its built-in seeds, so EXPERIMENTS.md can record
 // exact expected shapes.
@@ -111,6 +111,7 @@ func All() []Experiment {
 		{ID: "E11", Name: "log shipping: replication lag and failover vs batch size", Run: E11ShipLag},
 		{ID: "E12", Name: "commit fast lane: per-core log streams and absorption", Run: E12CommitStreams},
 		{ID: "E13", Name: "recoverable domains: B+tree and LSM under scenario mixes", Run: E13DomainMixes},
+		{ID: "E14", Name: "instant recovery: serving during redo vs full-redo restart", Run: E14InstantRecovery},
 		{ID: "A1", Name: "ablation: install-record logging on/off", Run: A1InstallLogging},
 		{ID: "A2", Name: "ablation: write-graph policy W vs rW under the cache manager", Run: A2PolicyAblation},
 	}

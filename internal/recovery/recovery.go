@@ -132,7 +132,79 @@ type dirtyTable map[op.ObjectID]op.SI
 func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 	res := &Result{}
 	lane := opts.Tracer.Lane("recovery")
+	dot, err := recoverPrologue(log, store, opts, res, lane)
+	if err != nil {
+		return nil, err
+	}
+	mgr := res.Manager
 
+	// Redo pass (Figure 2): scan from the start point, test, replay.
+	sc, err := log.Scan(res.RedoStart)
+	if err != nil {
+		return nil, err
+	}
+	if workers := resolveWorkers(opts.RedoWorkers); workers > 1 {
+		if err := redoParallel(sc, mgr, dot, opts, workers, res, lane); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	sp := lane.Begin("redo-serial")
+	defer func() {
+		sp.Arg("scanned", res.ScannedOps).Arg("redone", res.Redone).
+			Arg("skipped_installed", res.SkippedInstalled).
+			Arg("skipped_unexposed", res.SkippedUnexposed).
+			Arg("voided", res.Voided).End()
+	}()
+	dc := newDecideCounters(opts.Obs)
+	for {
+		rec, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != wal.RecOperation {
+			continue
+		}
+		res.ScannedOps++
+		o := rec.Op
+		ex := DecideRedoExplain(opts.Test, mgr, dot, o)
+		if !ex.Redo {
+			if ex.InstalledWitness {
+				res.SkippedInstalled++
+				trace(opts, o, "skip-installed")
+			} else {
+				res.SkippedUnexposed++
+				trace(opts, o, "skip-unexposed")
+			}
+			dc.skip(opts.Flight, "recovery", o.LSN, ex)
+			continue
+		}
+		voided, err := mgr.TryApplyLogged(o.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("recovery: redo of %s: %w", o, err)
+		}
+		if voided {
+			res.Voided++
+			trace(opts, o, "voided")
+		} else {
+			res.Redone++
+			trace(opts, o, "redo")
+		}
+		dc.applied(opts.Flight, "recovery", o.LSN, ex, voided)
+	}
+	return res, nil
+}
+
+// recoverPrologue runs the recovery phases that precede redo: the log
+// restart (torn-tail trim, LSN horizon re-derivation), the flush-transaction
+// repair, the cache-manager rebuild, the analysis pass, and the redo-start
+// computation.  Results land in res (Manager, CheckpointLSN, AnalyzedRecords,
+// RedoStart, PendingFlushTxnRepaired); the returned dirty table drives the
+// redo pass — full (Recover) or on-demand (StartOnDemand).
+func recoverPrologue(log *wal.Log, store *stable.Store, opts Options, res *Result, lane *obs.Lane) (dirtyTable, error) {
 	// Restart the log over its device first, as a process restart would:
 	// trim the untrustworthy debris of a torn, bit-flipped, or reordered
 	// final append, and re-derive the LSN horizon from the durable log so
@@ -182,65 +254,7 @@ func Recover(log *wal.Log, store *stable.Store, opts Options) (*Result, error) {
 		}
 	}
 	res.RedoStart = redoStart
-
-	// Redo pass (Figure 2): scan from the start point, test, replay.
-	sc, err := log.Scan(redoStart)
-	if err != nil {
-		return nil, err
-	}
-	if workers := resolveWorkers(opts.RedoWorkers); workers > 1 {
-		if err := redoParallel(sc, mgr, dot, opts, workers, res, lane); err != nil {
-			return nil, err
-		}
-		return res, nil
-	}
-	sp = lane.Begin("redo-serial")
-	defer func() {
-		sp.Arg("scanned", res.ScannedOps).Arg("redone", res.Redone).
-			Arg("skipped_installed", res.SkippedInstalled).
-			Arg("skipped_unexposed", res.SkippedUnexposed).
-			Arg("voided", res.Voided).End()
-	}()
-	dc := newDecideCounters(opts.Obs)
-	for {
-		rec, err := sc.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if rec.Type != wal.RecOperation {
-			continue
-		}
-		res.ScannedOps++
-		o := rec.Op
-		ex := DecideRedoExplain(opts.Test, mgr, dot, o)
-		if !ex.Redo {
-			if ex.InstalledWitness {
-				res.SkippedInstalled++
-				trace(opts, o, "skip-installed")
-			} else {
-				res.SkippedUnexposed++
-				trace(opts, o, "skip-unexposed")
-			}
-			dc.skip(opts.Flight, "recovery", o.LSN, ex)
-			continue
-		}
-		voided, err := mgr.TryApplyLogged(o.Clone())
-		if err != nil {
-			return nil, fmt.Errorf("recovery: redo of %s: %w", o, err)
-		}
-		if voided {
-			res.Voided++
-			trace(opts, o, "voided")
-		} else {
-			res.Redone++
-			trace(opts, o, "redo")
-		}
-		dc.applied(opts.Flight, "recovery", o.LSN, ex, voided)
-	}
-	return res, nil
+	return dot, nil
 }
 
 // decideCounters bundles the recovery.decide.* metric family with the

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"logicallog/internal/btree"
+	"logicallog/internal/cache"
+	"logicallog/internal/core"
+	"logicallog/internal/lsm"
+	"logicallog/internal/op"
+	"logicallog/internal/workload"
+)
+
+// kvPrefix namespaces KV objects in the engine's object space so a KV
+// backend coexists with other substrates on one engine.
+const kvPrefix = "kv/"
+
+// KV is the flat key/value backend: each key is one engine object.  It is
+// the instant-recovery showcase — with no shared index pages, every key's
+// dependency chain is small, so demand redo touches a tiny log slice per
+// request while a B+tree shares root-split chains across keys.
+type KV struct {
+	eng *core.Engine
+}
+
+// NewKV wraps an engine as a flat KV domain.
+func NewKV(eng *core.Engine) *KV { return &KV{eng: eng} }
+
+func kvID(key []byte) op.ObjectID { return op.ObjectID(kvPrefix + string(key)) }
+
+// Put implements workload.Domain: a blind physical write (creates or
+// overwrites; resurrects a deleted key).
+func (kv *KV) Put(key, val []byte) error {
+	return kv.eng.Execute(op.NewPhysicalWrite(kvID(key), val))
+}
+
+// Get implements workload.Domain.
+func (kv *KV) Get(key []byte) ([]byte, bool, error) {
+	v, err := kv.eng.Get(kvID(key))
+	if errors.Is(err, cache.ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Delete implements workload.Domain.
+func (kv *KV) Delete(key []byte) (bool, error) {
+	x := kvID(key)
+	if _, err := kv.eng.Get(x); errors.Is(err, cache.ErrNotFound) {
+		return false, nil
+	} else if err != nil {
+		return false, err
+	}
+	return true, kv.eng.Execute(op.NewDelete(x))
+}
+
+// Range implements workload.Domain: enumerate live kv objects in [lo, hi)
+// (hi nil/empty = unbounded) in key order.  During an on-demand drain the
+// engine gates the enumeration on the range's writer chains.
+func (kv *KV) Range(lo, hi []byte, fn func(key, val []byte) bool) error {
+	lower := op.ObjectID(kvPrefix + string(lo))
+	var upper op.ObjectID
+	if len(hi) > 0 {
+		upper = op.ObjectID(kvPrefix + string(hi))
+	} else {
+		// One past every "kv/..." id: bump the prefix's last byte.
+		upper = op.ObjectID(kvPrefix[:len(kvPrefix)-1] + string(kvPrefix[len(kvPrefix)-1]+1))
+	}
+	ids, err := kv.eng.Objects(lower, upper)
+	if err != nil {
+		return err
+	}
+	for _, x := range ids {
+		v, err := kv.eng.Get(x)
+		if errors.Is(err, cache.ErrNotFound) {
+			continue // deleted between enumeration and read
+		}
+		if err != nil {
+			return err
+		}
+		if !fn([]byte(x[len(kvPrefix):]), v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Check implements workload.Domain: every enumerated key must be readable
+// and carry the prefix invariant.
+func (kv *KV) Check() error {
+	return kv.Range(nil, nil, func(key, val []byte) bool { return true })
+}
+
+// Compile-time interface check.
+var _ workload.Domain = (*KV)(nil)
+
+// Backend defaults shared by llserve and the harness.
+const (
+	backendTreeName  = "srv"
+	backendTreeOrder = 8
+)
+
+func backendLSMOptions() lsm.Options { return lsm.Options{FlushThreshold: 8, Fanout: 4} }
+
+// RegisterBackends installs every backend's transform functions on a
+// registry (idempotent); an engine that may recover any backend's log needs
+// them before redo.
+func RegisterBackends(reg *op.Registry) {
+	if _, ok := reg.Lookup(btree.FuncInsertLeaf); !ok {
+		btree.Register(reg)
+	}
+	if _, ok := reg.Lookup(lsm.FuncMemPut); !ok {
+		lsm.Register(reg)
+	}
+}
+
+// OpenBackend builds the named backend ("kv", "btree", "lsm") over an
+// engine — fresh for a new store, opening existing structures otherwise.
+// Shared by llserve and the harness.
+func OpenBackend(eng *core.Engine, name string, fresh bool) (workload.Domain, error) {
+	RegisterBackends(eng.Registry())
+	switch name {
+	case "kv":
+		return NewKV(eng), nil
+	case "btree":
+		if fresh {
+			return btree.New(eng, backendTreeName, backendTreeOrder)
+		}
+		return btree.Open(eng, backendTreeName)
+	case "lsm":
+		if fresh {
+			return lsm.New(eng, backendTreeName, backendLSMOptions())
+		}
+		return lsm.Open(eng, backendTreeName, backendLSMOptions())
+	default:
+		return nil, fmt.Errorf("server: unknown backend %q (have kv, btree, lsm)", name)
+	}
+}

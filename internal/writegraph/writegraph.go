@@ -97,6 +97,18 @@ type Graph struct {
 	// X becomes unexposed in p.
 	readersOfLast map[op.ObjectID]map[graph.NodeID]struct{}
 
+	// cycleRisk is set when the current AddOp adds an edge or merges two
+	// or more existing nodes — the only mutations that can turn the
+	// (invariantly acyclic) graph cyclic.  newEdges and mergedNodes record
+	// exactly which edges/survivors this AddOp introduced so that
+	// collapseCyclesAround can prove acyclicity with a bounded local
+	// reachability probe instead of a global SCC pass, keeping a long run
+	// of blind writes (and their redo replay) linear instead of quadratic
+	// in the graph size.
+	cycleRisk   bool
+	newEdges    [][2]graph.NodeID
+	mergedNodes []graph.NodeID
+
 	// stats
 	merges        int
 	cycleCollapse int
@@ -195,6 +207,8 @@ func (wg *Graph) addEdgesFrom(preds []graph.NodeID, to graph.NodeID) {
 			continue
 		}
 		wg.g.AddEdge(p, to)
+		wg.cycleRisk = true
+		wg.newEdges = append(wg.newEdges, [2]graph.NodeID{p, to})
 	}
 }
 
@@ -247,6 +261,8 @@ func (wg *Graph) addOpRW(o *op.Operation) (graph.NodeID, error) {
 		delete(p.vars, x)
 		// attachOp already re-pointed byVar[x] to m.
 		wg.g.AddEdge(pid, m.id) // write-write: o ∈ must(op) for op ∈ ops(p)
+		wg.cycleRisk = true
+		wg.newEdges = append(wg.newEdges, [2]graph.NodeID{pid, m.id})
 		// Inverse write-read edges: readers of the value p last wrote to x
 		// must install before p so that x is truly unexposed when p's vars
 		// are flushed without x.
@@ -255,6 +271,8 @@ func (wg *Graph) addOpRW(o *op.Operation) (graph.NodeID, error) {
 			for qid := range wg.readersOfLast[x] {
 				if qid != pid && wg.g.HasNode(qid) {
 					wg.g.AddEdge(qid, pid)
+					wg.cycleRisk = true
+					wg.newEdges = append(wg.newEdges, [2]graph.NodeID{qid, pid})
 				}
 			}
 		}
@@ -306,6 +324,12 @@ func (wg *Graph) mergeInto(ids []graph.NodeID) *node {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	survivor := wg.nodes[ids[0]]
+	if len(ids) > 1 {
+		// Collapsing distinct nodes can close a cycle through any path
+		// that ran between them, even though no edge is added.
+		wg.cycleRisk = true
+		wg.mergedNodes = append(wg.mergedNodes, survivor.id)
+	}
 	for _, id := range ids[1:] {
 		wg.absorb(survivor, id)
 		wg.merges++
@@ -404,6 +428,20 @@ func (wg *Graph) trackReadsWrites(nd *node, o *op.Operation) {
 // write-read edges added by addop_rW can close cycles anywhere in the graph,
 // not only around the freshly inserted node.
 func (wg *Graph) collapseCyclesAround(start graph.NodeID) graph.NodeID {
+	// Fast path 1: if this insertion added no edges and merged at most one
+	// node, the graph was acyclic before and still is.
+	if !wg.cycleRisk {
+		return start
+	}
+	wg.cycleRisk = false
+	// Fast path 2: any new cycle must pass through a freshly added edge or
+	// a merge survivor; a bounded local reachability probe over just those
+	// proves acyclicity without the global SCC pass.  This is what keeps a
+	// long run of blind writes — and their redo replay, where the graph
+	// holds every uninstalled operation — linear instead of quadratic.
+	if !wg.maybeCyclic() {
+		return start
+	}
 	for {
 		collapsed := false
 		for _, comp := range wg.g.SCC() {
@@ -427,6 +465,66 @@ func (wg *Graph) collapseCyclesAround(start graph.NodeID) graph.NodeID {
 		// condensation, which is acyclic; the loop re-checks to defend
 		// against interaction between multiple merges in one pass.
 	}
+}
+
+// cycleProbeBudget bounds the total nodes maybeCyclic may visit per AddOp;
+// past it the probe answers "maybe" and the full SCC pass decides.
+const cycleProbeBudget = 512
+
+// maybeCyclic reports whether this AddOp could have closed a cycle.  The
+// graph was acyclic before the insertion, so a new cycle must traverse a
+// fresh edge (u, v) — meaning u is reachable from v — or pass through a
+// merge survivor (collapsing two nodes joins every path that ran between
+// them).  False is definitive; true hands off to the SCC collapse.
+func (wg *Graph) maybeCyclic() bool {
+	defer func() {
+		wg.newEdges = wg.newEdges[:0]
+		wg.mergedNodes = wg.mergedNodes[:0]
+	}()
+	budget := cycleProbeBudget
+	for _, e := range wg.newEdges {
+		if !wg.g.HasNode(e[0]) || !wg.g.HasNode(e[1]) {
+			continue // endpoint absorbed by a later merge in the same AddOp
+		}
+		if wg.pathExists(e[1], e[0], make(map[graph.NodeID]bool), &budget) {
+			return true
+		}
+	}
+	for _, s := range wg.mergedNodes {
+		if !wg.g.HasNode(s) {
+			continue
+		}
+		visited := make(map[graph.NodeID]bool)
+		for _, succ := range wg.g.Succ(s) {
+			if wg.pathExists(succ, s, visited, &budget) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pathExists reports whether target is reachable from from, decrementing
+// *budget per visited node; an exhausted budget answers true (conservative:
+// the caller falls back to the full SCC pass).
+func (wg *Graph) pathExists(from, target graph.NodeID, visited map[graph.NodeID]bool, budget *int) bool {
+	if from == target {
+		return true
+	}
+	if visited[from] {
+		return false
+	}
+	if *budget <= 0 {
+		return true
+	}
+	*budget--
+	visited[from] = true
+	for _, s := range wg.g.Succ(from) {
+		if wg.pathExists(s, target, visited, budget) {
+			return true
+		}
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------------
